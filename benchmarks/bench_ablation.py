@@ -1,0 +1,43 @@
+"""Benchmark: EXT-ablation — Algorithm 1's delta/gamma knobs.
+
+Theorem 3.4: smaller delta means more spared pairs per round and more
+rounds; larger gamma means fewer rounds.  The timing ladder shows the cost
+side of the trade-off; the quality side is attached as extra_info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.merging import construct_histogram_partition
+from repro.datasets import make_hist_dataset
+
+DELTAS = (0.1, 1.0, 1000.0)
+GAMMAS = (1.0, 100.0)
+K = 10
+
+
+@pytest.fixture(scope="module")
+def values():
+    return make_hist_dataset(seed=0)
+
+
+@pytest.mark.parametrize("delta", DELTAS)
+def test_delta_sweep(benchmark, values, delta):
+    result = benchmark(
+        lambda: construct_histogram_partition(values, K, delta=delta, gamma=1.0)
+    )
+    benchmark.extra_info["delta"] = delta
+    benchmark.extra_info["pieces"] = result.num_pieces
+    benchmark.extra_info["rounds"] = result.rounds
+    benchmark.extra_info["error"] = result.histogram.l2_to_dense(values)
+
+
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_gamma_sweep(benchmark, values, gamma):
+    result = benchmark(
+        lambda: construct_histogram_partition(values, K, delta=1000.0, gamma=gamma)
+    )
+    benchmark.extra_info["gamma"] = gamma
+    benchmark.extra_info["pieces"] = result.num_pieces
+    benchmark.extra_info["rounds"] = result.rounds

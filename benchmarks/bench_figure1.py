@@ -1,0 +1,26 @@
+"""Benchmark: Figure 1 — dataset generation.
+
+The figure's reproducible content is the three series; these benchmarks
+time their generators and attach the summary statistics that characterize
+each plot (value ranges matching the paper's axes).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import make_dow_dataset, make_hist_dataset, make_poly_dataset
+from repro.experiments.figure1 import dataset_summary
+
+
+def test_generate_hist(benchmark):
+    values = benchmark(lambda: make_hist_dataset(seed=0))
+    benchmark.extra_info.update(dataset_summary(values))
+
+
+def test_generate_poly(benchmark):
+    values = benchmark(lambda: make_poly_dataset(seed=0))
+    benchmark.extra_info.update(dataset_summary(values))
+
+
+def test_generate_dow(benchmark):
+    values = benchmark(lambda: make_dow_dataset(seed=7))
+    benchmark.extra_info.update(dataset_summary(values))

@@ -1,0 +1,56 @@
+"""Benchmark: Figure 2 — learning from samples.
+
+For each learning dataset and algorithm, time one full learning pipeline at
+``m = 10000`` samples (the figure's right edge) and attach the mean l2 error
+to the true distribution over several trials, plus the ``opt_k`` floor the
+figure draws as a horizontal line.
+
+The full 10-point sweep with 20 trials is the CLI runner
+(``python -m repro figure2``); here each cell is a benchmark so that the
+paper's headline claim — merging learns as well as exactdp at a fraction of
+the time — is visible directly in the timing table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact_dp import v_optimal_histogram
+from repro.experiments.figure2 import learn_once
+
+DATASETS = ("hist'", "poly'", "dow'")
+ALGORITHMS = ("exactdp", "merging", "merging2")
+SAMPLES = 10000
+ERROR_TRIALS = 5
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_learning_pipeline(benchmark, learning, dataset, algorithm):
+    p, k = learning[dataset]
+    rng = np.random.default_rng(77)
+
+    if algorithm == "exactdp":
+        result = benchmark.pedantic(
+            lambda: learn_once(algorithm, p, k, SAMPLES, rng), rounds=1, iterations=1
+        )
+    else:
+        result = benchmark(lambda: learn_once(algorithm, p, k, SAMPLES, rng))
+
+    trial_rng = np.random.default_rng(78)
+    errors = [learn_once(algorithm, p, k, SAMPLES, trial_rng) for _ in range(ERROR_TRIALS)]
+    benchmark.extra_info["mean_error"] = float(np.mean(errors))
+    benchmark.extra_info["std_error"] = float(np.std(errors))
+    benchmark.extra_info["samples"] = SAMPLES
+    assert result > 0.0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_opt_k_floor(benchmark, learning, dataset):
+    """The figure's opt_k line: best k-histogram fit to the truth itself."""
+    p, k = learning[dataset]
+    result = benchmark.pedantic(
+        lambda: v_optimal_histogram(p.pmf, k), rounds=1, iterations=1
+    )
+    benchmark.extra_info["opt_k"] = result.error

@@ -1,0 +1,51 @@
+"""Benchmark: EXT-pareto — Algorithm 2 and the Theorem 2.2 learner.
+
+One hierarchical run must cost about as much as a single Algorithm 1 run
+(both are O(s)) while serving *every* budget afterwards; the budget-query
+benchmarks confirm the per-k cost after the single pass is negligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import construct_hierarchical_histogram
+from repro.core.merging import construct_histogram
+from repro.datasets import make_dow_dataset
+from repro.sampling.empirical import draw_empirical
+from repro.sampling.learner import MultiscaleLearner
+
+
+@pytest.fixture(scope="module")
+def series():
+    return make_dow_dataset(n=16384, seed=7)
+
+
+def test_hierarchy_construction(benchmark, series):
+    result = benchmark(lambda: construct_hierarchical_histogram(series))
+    benchmark.extra_info["levels"] = result.num_levels
+
+
+def test_single_scale_reference(benchmark, series):
+    """Algorithm 1 at one k, for comparison with the full hierarchy."""
+    hist = benchmark(lambda: construct_histogram(series, 50, delta=1000.0))
+    benchmark.extra_info["pieces"] = hist.num_pieces
+
+
+def test_budget_queries_after_one_pass(benchmark, series):
+    hierarchy = construct_hierarchical_histogram(series)
+
+    def query_all():
+        return [hierarchy.histogram_for_budget(k).num_pieces for k in (1, 5, 25, 125)]
+
+    pieces = benchmark(query_all)
+    benchmark.extra_info["pieces_per_budget"] = pieces
+
+
+def test_multiscale_learner_pipeline(benchmark, learning):
+    p, _ = learning["dow'"]
+    rng = np.random.default_rng(5)
+    p_hat = draw_empirical(p, 10000, rng)
+    learner = benchmark(lambda: MultiscaleLearner(p_hat))
+    benchmark.extra_info["levels"] = learner.hierarchy.num_levels

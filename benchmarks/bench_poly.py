@@ -1,0 +1,44 @@
+"""Benchmark: EXT-poly — FitPoly cost scaling and piecewise-poly merging.
+
+Theorem 4.2 bounds the projection at ``O(d^2 s)``; our normalized Gram
+recurrence achieves ``O(d s)``, which the degree ladder below makes visible
+(time per doubling of ``d`` approaches 2x, not 4x).  The second group times
+the full Theorem 2.3 construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fitpoly import fit_polynomial
+from repro.core.general_merging import construct_piecewise_polynomial
+from repro.core.sparse import SparseFunction
+from repro.datasets import make_poly_dataset
+
+DEGREES = (1, 2, 4, 8, 16, 32)
+PIECE_DEGREES = (1, 2, 5)
+
+
+@pytest.fixture(scope="module")
+def poly_input():
+    values = make_poly_dataset(n=4000, seed=0)
+    return values, SparseFunction.from_dense(values)
+
+
+@pytest.mark.parametrize("degree", DEGREES)
+def test_fitpoly_degree_scaling(benchmark, poly_input, degree):
+    values, q = poly_input
+    fit = benchmark(lambda: fit_polynomial(q, 0, q.n - 1, degree))
+    benchmark.extra_info["degree"] = degree
+    benchmark.extra_info["error_sq"] = fit.error_sq
+
+
+@pytest.mark.parametrize("degree", PIECE_DEGREES)
+def test_piecewise_polynomial_construction(benchmark, poly_input, degree):
+    values, _ = poly_input
+    func = benchmark(
+        lambda: construct_piecewise_polynomial(values, 8, degree, delta=1000.0)
+    )
+    benchmark.extra_info["degree"] = degree
+    benchmark.extra_info["pieces"] = func.num_pieces
+    benchmark.extra_info["error"] = func.l2_to_dense(values)

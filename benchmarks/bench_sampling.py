@@ -1,0 +1,50 @@
+"""Benchmark: EXT-lower — sampling-stage costs and the hypothesis tester.
+
+Stage 1 of the two-stage learner must be cheap (build the empirical
+distribution) and its cost must depend on ``m``, not the universe size ``n``
+— the paper's headline complexity claim, timed directly here by padding the
+universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.distributions import DiscreteDistribution
+from repro.sampling.empirical import empirical_from_samples
+from repro.sampling.theory import distinguishing_error
+
+M = 10000
+
+
+@pytest.fixture(scope="module")
+def sample_batch():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 1000, size=M)
+
+
+def test_empirical_construction(benchmark, sample_batch):
+    p_hat = benchmark(lambda: empirical_from_samples(sample_batch, n=1000))
+    benchmark.extra_info["sparsity"] = p_hat.sparsity
+
+
+def test_empirical_construction_huge_universe(benchmark, sample_batch):
+    """Same samples, universe padded 1000x: cost must be ~unchanged."""
+    p_hat = benchmark(lambda: empirical_from_samples(sample_batch, n=1_000_000))
+    benchmark.extra_info["sparsity"] = p_hat.sparsity
+
+
+def test_sampling_cost(benchmark, rng):
+    p = DiscreteDistribution.from_nonnegative(
+        np.random.default_rng(1).random(1000) + 0.01
+    )
+    samples = benchmark(lambda: p.sample(M, rng))
+    benchmark.extra_info["m"] = int(samples.size)
+
+
+def test_optimal_tester(benchmark, rng):
+    error = benchmark.pedantic(
+        lambda: distinguishing_error(0.1, 400, 2000, rng), rounds=1, iterations=1
+    )
+    benchmark.extra_info["tester_error"] = error

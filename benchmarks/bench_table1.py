@@ -1,0 +1,119 @@
+"""Benchmark: the paper's Table 1 — offline approximation, time and error.
+
+One benchmark per (dataset, algorithm) cell.  The l2 error, relative error
+target, and output piece counts are attached as ``extra_info`` so the whole
+table can be reassembled from one ``pytest benchmarks/bench_table1.py
+--benchmark-only`` run.
+
+The quadratic ``exactdp`` and the approximate-DP ``gks`` cells on the large
+``dow`` input take minutes / tens of seconds respectively; they run with a
+single pedantic round, exactly because reproducing their slowness *is* the
+point of the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dual_greedy import dual_histogram
+from repro.baselines.exact_dp import v_optimal_histogram
+from repro.baselines.gks import gks_histogram
+from repro.core.fastmerging import construct_fast_histogram
+from repro.core.merging import construct_histogram
+
+DATASETS = ("hist", "poly", "dow")
+
+MERGE_DELTA = 1000.0
+MERGE_GAMMA = 1.0
+
+
+def _bench_fast(benchmark, func, values):
+    """Standard timing loop for the sub-second algorithms."""
+    result = benchmark(func)
+    benchmark.extra_info["n"] = int(values.size)
+    return result
+
+
+def _bench_slow(benchmark, func, values):
+    """Single-shot timing for the minute-scale baselines."""
+    result = benchmark.pedantic(func, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = int(values.size)
+    return result
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_merging(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    hist = _bench_fast(
+        benchmark,
+        lambda: construct_histogram(values, k, delta=MERGE_DELTA, gamma=MERGE_GAMMA),
+        values,
+    )
+    benchmark.extra_info["error"] = hist.l2_to_dense(values)
+    benchmark.extra_info["pieces"] = hist.num_pieces
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_merging2(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    hist = _bench_fast(
+        benchmark,
+        lambda: construct_histogram(
+            values, max(k // 2, 1), delta=MERGE_DELTA, gamma=MERGE_GAMMA
+        ),
+        values,
+    )
+    benchmark.extra_info["error"] = hist.l2_to_dense(values)
+    benchmark.extra_info["pieces"] = hist.num_pieces
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fastmerging(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    hist = _bench_fast(
+        benchmark,
+        lambda: construct_fast_histogram(values, k, delta=MERGE_DELTA, gamma=MERGE_GAMMA),
+        values,
+    )
+    benchmark.extra_info["error"] = hist.l2_to_dense(values)
+    benchmark.extra_info["pieces"] = hist.num_pieces
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fastmerging2(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    hist = _bench_fast(
+        benchmark,
+        lambda: construct_fast_histogram(
+            values, max(k // 2, 1), delta=MERGE_DELTA, gamma=MERGE_GAMMA
+        ),
+        values,
+    )
+    benchmark.extra_info["error"] = hist.l2_to_dense(values)
+    benchmark.extra_info["pieces"] = hist.num_pieces
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_dual(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    result = _bench_fast(benchmark, lambda: dual_histogram(values, k), values)
+    benchmark.extra_info["error"] = result.error
+    benchmark.extra_info["pieces"] = result.num_pieces
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_exactdp(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    runner = _bench_slow if values.size > 2048 else _bench_fast
+    result = runner(benchmark, lambda: v_optimal_histogram(values, k), values)
+    benchmark.extra_info["error"] = result.error
+    benchmark.extra_info["pieces"] = result.num_pieces
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_gks(benchmark, offline, dataset):
+    values, k = offline[dataset]
+    runner = _bench_slow if values.size > 2048 else _bench_fast
+    result = runner(benchmark, lambda: gks_histogram(values, k, delta=1.0), values)
+    benchmark.extra_info["error"] = result.error
+    benchmark.extra_info["pieces"] = result.num_pieces

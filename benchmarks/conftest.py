@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark attaches the achieved error / piece counts via
+``benchmark.extra_info`` so a single run regenerates both columns (time and
+quality) of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import learning_datasets, offline_datasets
+
+
+@pytest.fixture(scope="session")
+def offline():
+    """The Table 1 workloads: {name: (values, k)}."""
+    return offline_datasets(seed=0)
+
+
+@pytest.fixture(scope="session")
+def learning():
+    """The Figure 2 workloads: {name: (distribution, k)}."""
+    return learning_datasets(seed=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs in offline environments.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists only so
+``pip install -e . --no-use-pep517`` works where the ``wheel`` package (and
+any network access to fetch it) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

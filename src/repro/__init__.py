@@ -1,0 +1,162 @@
+"""repro: fast and near-optimal histogram approximation of distributions.
+
+A faithful, production-quality reproduction of
+
+    Acharya, Diakonikolas, Hegde, Li, Schmidt.
+    "Fast and Near-Optimal Algorithms for Approximating Distributions by
+    Histograms."  PODS 2015.
+
+The public API re-exports the core algorithms (greedy merging, hierarchical
+multi-scale merging, piecewise-polynomial fitting), the baselines the paper
+compares against (exact V-optimal DP, dual greedy, GKS-style approximate
+DP), the two-stage sampling learners, and the experiment datasets.
+
+Quickstart::
+
+    import numpy as np
+    from repro import construct_histogram, v_optimal_histogram
+
+    signal = np.r_[np.full(500, 2.0), np.full(500, 7.0)] \
+        + np.random.default_rng(0).normal(0, 0.3, 1000)
+    hist = construct_histogram(signal, k=2, delta=1000.0)
+    exact = v_optimal_histogram(signal, k=2)
+    print(hist.num_pieces, hist.l2_to_dense(signal), exact.error)
+"""
+
+from .baselines import (
+    DPResult,
+    DualResult,
+    GKSResult,
+    WaveletSynopsis,
+    brute_force_optimal,
+    dual_histogram,
+    gks_histogram,
+    greedy_histogram_for_budget,
+    haar_transform,
+    inverse_haar_transform,
+    opt_k,
+    v_optimal_histogram,
+    wavelet_synopsis,
+)
+from .core import (
+    ConstantOracle,
+    LinearOracle,
+    GeneralMergingResult,
+    HierarchicalResult,
+    Histogram,
+    MergingResult,
+    Partition,
+    PiecewisePolynomial,
+    PolynomialFit,
+    PolynomialOracle,
+    PrefixSums,
+    ProjectionOracle,
+    SparseFunction,
+    construct_fast_histogram,
+    construct_fast_histogram_partition,
+    construct_general_histogram,
+    construct_hierarchical_histogram,
+    construct_histogram,
+    construct_histogram_partition,
+    construct_piecewise_polynomial,
+    evaluate_gram_basis,
+    fit_polynomial,
+    flatten,
+    gram_basis_matrix,
+    gram_recurrence_coefficients,
+    initial_partition,
+    keep_count,
+    target_pieces,
+)
+from .datasets import (
+    learning_datasets,
+    make_dow_dataset,
+    make_hist_dataset,
+    make_poly_dataset,
+    normalize_to_distribution,
+    offline_datasets,
+    subsample_uniform,
+)
+from .sampling import (
+    DiscreteDistribution,
+    LearnedHistogram,
+    MultiscaleLearner,
+    StreamingHistogramLearner,
+    distinguishing_error,
+    draw_empirical,
+    empirical_from_samples,
+    expected_empirical_l2,
+    hellinger_sample_lower_bound,
+    learn_histogram,
+    learn_multiscale,
+    learn_piecewise_polynomial,
+    lower_bound_pair,
+    sample_size,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantOracle",
+    "DPResult",
+    "DiscreteDistribution",
+    "DualResult",
+    "GKSResult",
+    "GeneralMergingResult",
+    "HierarchicalResult",
+    "Histogram",
+    "LearnedHistogram",
+    "LinearOracle",
+    "MergingResult",
+    "MultiscaleLearner",
+    "Partition",
+    "PiecewisePolynomial",
+    "PolynomialFit",
+    "PolynomialOracle",
+    "PrefixSums",
+    "ProjectionOracle",
+    "SparseFunction",
+    "StreamingHistogramLearner",
+    "WaveletSynopsis",
+    "brute_force_optimal",
+    "construct_fast_histogram",
+    "construct_fast_histogram_partition",
+    "construct_general_histogram",
+    "construct_hierarchical_histogram",
+    "construct_histogram",
+    "construct_histogram_partition",
+    "construct_piecewise_polynomial",
+    "distinguishing_error",
+    "draw_empirical",
+    "dual_histogram",
+    "empirical_from_samples",
+    "evaluate_gram_basis",
+    "expected_empirical_l2",
+    "fit_polynomial",
+    "flatten",
+    "gks_histogram",
+    "gram_basis_matrix",
+    "gram_recurrence_coefficients",
+    "haar_transform",
+    "greedy_histogram_for_budget",
+    "hellinger_sample_lower_bound",
+    "initial_partition",
+    "inverse_haar_transform",
+    "keep_count",
+    "learn_histogram",
+    "learn_multiscale",
+    "learn_piecewise_polynomial",
+    "learning_datasets",
+    "lower_bound_pair",
+    "make_dow_dataset",
+    "make_hist_dataset",
+    "make_poly_dataset",
+    "normalize_to_distribution",
+    "offline_datasets",
+    "opt_k",
+    "sample_size",
+    "subsample_uniform",
+    "target_pieces",
+    "v_optimal_histogram",
+    "wavelet_synopsis",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Experiments:
+
+* ``figure1``     — the three datasets (summary stats + ASCII sketches)
+* ``table1``      — offline error/time comparison (the paper's Table 1)
+* ``figure2``     — learning-from-samples curves (the paper's Figure 2)
+* ``scaling``     — EXT: running time vs input size
+* ``ablation``    — EXT: Algorithm 1 delta/gamma trade-offs
+* ``pareto``      — EXT: multi-scale hierarchy vs exact optimum
+* ``poly``        — EXT: piecewise-polynomial quality and FitPoly cost
+* ``lower_bound`` — EXT: sample-complexity upper/lower bound checks
+
+Run ``python -m repro <experiment> --help`` for per-experiment options.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    ablation,
+    figure1,
+    figure2,
+    lower_bound,
+    pareto,
+    poly,
+    scaling,
+    table1,
+)
+
+EXPERIMENTS = {
+    "figure1": figure1.main,
+    "table1": table1.main,
+    "figure2": figure2.main,
+    "scaling": scaling.main,
+    "ablation": ablation.main,
+    "pareto": pareto.main,
+    "poly": poly.main,
+    "lower_bound": lower_bound.main,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in {"-h", "--help"}:
+        print(__doc__)
+        return 0
+    name = args[0]
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}")
+        return 2
+    EXPERIMENTS[name](args[1:])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Baseline histogram constructions the paper compares against."""
+
+from .dual_greedy import DualResult, dual_histogram, greedy_histogram_for_budget
+from .exact_dp import DPResult, brute_force_optimal, opt_k, v_optimal_histogram
+from .gks import GKSResult, gks_histogram
+from .wavelet import (
+    WaveletSynopsis,
+    haar_transform,
+    inverse_haar_transform,
+    wavelet_synopsis,
+)
+
+__all__ = [
+    "DPResult",
+    "DualResult",
+    "GKSResult",
+    "WaveletSynopsis",
+    "brute_force_optimal",
+    "dual_histogram",
+    "gks_histogram",
+    "greedy_histogram_for_budget",
+    "opt_k",
+    "v_optimal_histogram",
+    "haar_transform",
+    "inverse_haar_transform",
+    "wavelet_synopsis",
+]

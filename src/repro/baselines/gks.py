@@ -1,0 +1,207 @@
+"""A GKS06-style ``(1+delta)``-approximate DP baseline (AHIST family).
+
+Guha, Koudas, and Shim [GKS06] accelerate the V-optimal DP by exploiting
+that the layer error function ``E_j(i)`` (best error of a j-piece histogram
+on the prefix ``[0, i]``) is nondecreasing in ``i``: instead of storing it
+everywhere, they keep only the ``O(log(range) / delta')`` *breakpoints*
+where it crosses successive powers of ``(1 + delta')``, and the DP
+transition minimizes only over those breakpoints.  Taking the right
+endpoint of the class containing the true optimum ``b*`` loses at most a
+``(1 + delta')`` factor per layer; we choose
+``delta' = (1 + delta)^(1/(k-1)) - 1`` so the compounded loss over the
+``k - 1`` transition layers is exactly ``1 + delta``.
+
+The original AHIST-L-Delta is closed source and the paper compares against
+its published numbers only; this module implements the error-class idea
+end-to-end so the accuracy-versus-time trade-off can be rerun.  It is a
+faithful member of the same family, not a line-by-line port.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..core.histogram import Histogram
+
+from ..core.sparse import SparseFunction
+from .exact_dp import _SSE, _as_dense, _histogram_from_breaks
+
+__all__ = ["GKSResult", "gks_histogram"]
+
+
+@dataclass(frozen=True)
+class GKSResult:
+    """Histogram from the approximate DP plus diagnostics."""
+
+    histogram: Histogram
+    error: float  # achieved l2 error, recomputed exactly
+    error_sq: float
+    breakpoints_per_layer: List[int]
+
+    @property
+    def num_pieces(self) -> int:
+        return self.histogram.num_pieces
+
+
+class _Layer:
+    """Breakpoint compression of one DP layer ``E_j``.
+
+    ``pos`` are right endpoints of error classes (increasing, last = n-1)
+    and ``val[t]`` is the layer value evaluated at ``pos[t]``.
+    """
+
+    __slots__ = ("pos", "val")
+
+    def __init__(self, pos: np.ndarray, val: np.ndarray) -> None:
+        self.pos = pos
+        self.val = val
+
+    def candidates_before(self, i: int, min_pos: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate (b, value) pairs for a transition ending at ``i``.
+
+        All class endpoints in ``[min_pos, i-1]`` plus the clamped candidate
+        ``b = i - 1`` carrying its class endpoint's value (an upper bound
+        within one class factor), so every true optimum has a dominating
+        candidate.
+        """
+        lo = int(np.searchsorted(self.pos, min_pos, side="left"))
+        hi = int(np.searchsorted(self.pos, i - 1, side="right"))
+        pos = self.pos[lo:hi]
+        val = self.val[lo:hi]
+        if hi < self.pos.size and (hi == lo or self.pos[hi - 1] != i - 1) and i - 1 >= min_pos:
+            pos = np.append(pos, i - 1)
+            val = np.append(val, self.val[hi])
+        return pos, val
+
+
+def _eval_layer(prev: _Layer, sse: _SSE, i: int, min_pos: int) -> float:
+    """``E~_j(i) = min_b prev(b) + sse(b+1, i)`` over the compressed candidates."""
+    pos, val = prev.candidates_before(i, min_pos)
+    if pos.size == 0:
+        return math.inf
+    return float(np.min(val + sse.cost(pos + 1, i)))
+
+
+def _build_layer(prev: _Layer, sse: _SSE, j: int, n: int, ratio: float, floor: float) -> _Layer:
+    """Compress layer ``j`` to breakpoints at successive ``ratio`` crossings."""
+    min_pos = j - 2  # transitions must leave >= j-1 points on the left
+    pos_list: List[int] = []
+    val_list: List[float] = []
+    i = j - 1
+    while i < n:
+        v = _eval_layer(prev, sse, i, min_pos)
+        threshold = max(v, floor) * ratio
+        # Largest i' with layer value <= threshold (the value is
+        # nondecreasing up to clamping effects; binary search suffices).
+        lo, hi = i, n - 1
+        if _eval_layer(prev, sse, hi, min_pos) <= threshold:
+            lo = hi
+        else:
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if _eval_layer(prev, sse, mid, min_pos) <= threshold:
+                    lo = mid
+                else:
+                    hi = mid - 1
+        pos_list.append(lo)
+        val_list.append(_eval_layer(prev, sse, lo, min_pos))
+        i = lo + 1
+    if pos_list[-1] != n - 1:
+        pos_list.append(n - 1)
+        val_list.append(_eval_layer(prev, sse, n - 1, min_pos))
+    return _Layer(np.asarray(pos_list, dtype=np.int64), np.asarray(val_list))
+
+
+def gks_histogram(
+    q: Union[np.ndarray, SparseFunction],
+    k: int,
+    delta: float = 1.0,
+) -> GKSResult:
+    """Compute a ``(1 + delta)``-approximate V-optimal ``k``-histogram.
+
+    Parameters
+    ----------
+    q:
+        Input signal, dense or sparse.
+    k:
+        Exact number of output pieces (like the exact DP, unlike merging).
+    delta:
+        Total multiplicative slack; split per layer as
+        ``delta' = (1 + delta)^(1/(k-1)) - 1``.
+    """
+    values = _as_dense(q)
+    n = values.size
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if delta <= 0.0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    k = min(k, n)
+    sse = _SSE(values)
+
+    if k == 1:
+        rights = np.asarray([n - 1], dtype=np.int64)
+        hist = _histogram_from_breaks(values, rights, sse)
+        err_sq = float(sse.cost(0, n - 1))
+        return GKSResult(
+            histogram=hist,
+            error=math.sqrt(max(err_sq, 0.0)),
+            error_sq=err_sq,
+            breakpoints_per_layer=[1],
+        )
+
+    ratio = (1.0 + delta) ** (1.0 / (k - 1))
+    total_err = float(sse.cost(0, n - 1))
+    floor = max(total_err, 1.0) * 1e-9
+
+    # Layer 1 is exact: E_1(i) = sse(0, i), nondecreasing by construction.
+    idx = np.arange(n)
+    e1 = sse.cost(np.zeros(n, dtype=np.int64), idx)
+    pos_list: List[int] = []
+    i = 0
+    while i < n:
+        threshold = max(float(e1[i]), floor) * ratio
+        hi = int(np.searchsorted(e1, threshold, side="right")) - 1
+        hi = max(hi, i)
+        pos_list.append(hi)
+        i = hi + 1
+    if pos_list[-1] != n - 1:
+        pos_list.append(n - 1)
+    pos = np.asarray(pos_list, dtype=np.int64)
+    layers = [_Layer(pos, e1[pos])]
+
+    for j in range(2, k):
+        layers.append(_build_layer(layers[-1], sse, j, n, ratio, floor))
+
+    # Backtrack: choose the final piece against layer k-1, then walk down.
+    rights = [n - 1]
+    i = n - 1
+    for j in range(k, 1, -1):
+        prev = layers[j - 2]
+        cand_pos, cand_val = prev.candidates_before(i, j - 2)
+        if cand_pos.size == 0:
+            break
+        best = int(np.argmin(cand_val + sse.cost(cand_pos + 1, i)))
+        b = int(cand_pos[best])
+        if b >= i:
+            break
+        rights.append(b)
+        i = b
+        if i <= 0:
+            break
+    rights_arr = np.asarray(sorted(set(rights)), dtype=np.int64)
+
+    hist = _histogram_from_breaks(values, rights_arr, sse)
+    part = hist.partition
+    err_sq = float(
+        np.sum(sse.cost(part.lefts, part.rights))
+    )
+    return GKSResult(
+        histogram=hist,
+        error=math.sqrt(max(err_sq, 0.0)),
+        error_sq=err_sq,
+        breakpoints_per_layer=[layer.pos.size for layer in layers],
+    )

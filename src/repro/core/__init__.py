@@ -1,0 +1,59 @@
+"""Core algorithms and data types of the histogram-approximation library."""
+
+from .fastmerging import construct_fast_histogram, construct_fast_histogram_partition
+from .fitpoly import PolynomialFit, fit_polynomial
+from .general_merging import (
+    GeneralMergingResult,
+    construct_general_histogram,
+    construct_piecewise_polynomial,
+)
+from .gram import (
+    evaluate_gram_basis,
+    gram_basis_matrix,
+    gram_recurrence_coefficients,
+)
+from .hierarchical import HierarchicalResult, construct_hierarchical_histogram
+from .histogram import Histogram, flatten
+from .intervals import Partition, initial_partition
+from .merging import (
+    MergingResult,
+    construct_histogram,
+    construct_histogram_partition,
+    keep_count,
+    target_pieces,
+)
+from .oracles import ConstantOracle, LinearOracle, PolynomialOracle, ProjectionOracle
+from .piecewise_poly import PiecewisePolynomial
+from .prefix import PrefixSums
+from .sparse import SparseFunction
+
+__all__ = [
+    "ConstantOracle",
+    "GeneralMergingResult",
+    "HierarchicalResult",
+    "LinearOracle",
+    "Histogram",
+    "MergingResult",
+    "Partition",
+    "PiecewisePolynomial",
+    "PolynomialFit",
+    "PolynomialOracle",
+    "PrefixSums",
+    "ProjectionOracle",
+    "SparseFunction",
+    "construct_fast_histogram",
+    "construct_fast_histogram_partition",
+    "construct_general_histogram",
+    "construct_hierarchical_histogram",
+    "construct_histogram",
+    "construct_histogram_partition",
+    "construct_piecewise_polynomial",
+    "evaluate_gram_basis",
+    "fit_polynomial",
+    "flatten",
+    "gram_basis_matrix",
+    "gram_recurrence_coefficients",
+    "initial_partition",
+    "keep_count",
+    "target_pieces",
+]

@@ -1,0 +1,126 @@
+"""The generalized merging algorithm (Section 4.1, Theorem 4.1).
+
+``construct_general_histogram`` is Algorithm 1 with the flattening step
+replaced by an arbitrary projection oracle: each round pairs consecutive
+intervals, asks the oracle for the error of the best class member on every
+merged pair, keeps the ``(1 + 1/delta) k`` worst pairs split, and merges the
+rest.  With the :class:`~repro.core.oracles.ConstantOracle` this reproduces
+Algorithm 1 exactly; with :class:`~repro.core.oracles.PolynomialOracle` it
+yields the ``(k, d)``-piecewise-polynomial fitter of Theorem 2.3 /
+Corollary 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from .intervals import Partition, initial_partition
+from .merging import keep_count, target_pieces
+from .oracles import PolynomialOracle, ProjectionOracle
+from .piecewise_poly import PiecewisePolynomial
+from .sparse import SparseFunction
+
+__all__ = [
+    "GeneralMergingResult",
+    "construct_general_histogram",
+    "construct_piecewise_polynomial",
+]
+
+
+@dataclass(frozen=True)
+class GeneralMergingResult:
+    """Output of the generalized merger with run diagnostics."""
+
+    function: PiecewisePolynomial
+    partition: Partition
+    rounds: int
+    initial_intervals: int
+
+    @property
+    def num_pieces(self) -> int:
+        return self.partition.num_intervals
+
+
+def construct_general_histogram(
+    q: Union[SparseFunction, np.ndarray],
+    k: int,
+    oracle: ProjectionOracle,
+    delta: float = 1.0,
+    gamma: float = 1.0,
+) -> GeneralMergingResult:
+    """Fit a ``k``-piecewise ``F``-function using a projection oracle.
+
+    Guarantees (Theorem 4.1): at most ``(2 + 2/delta) k + gamma`` pieces and
+    error within ``sqrt(1 + delta)`` of the best k-piecewise ``F``-function,
+    in ``O(alpha s)`` time for an ``O(alpha s')``-time oracle.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if delta <= 0.0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    if gamma < 1.0:
+        raise ValueError(f"gamma must be >= 1, got {gamma}")
+    sparse = q if isinstance(q, SparseFunction) else SparseFunction.from_dense(q)
+    if oracle.q is not sparse and not oracle.q.allclose(sparse):
+        raise ValueError("oracle is bound to a different input function")
+
+    part = initial_partition(sparse)
+    rights = part.rights
+    initial = rights.size
+    target = target_pieces(k, delta, gamma)
+    spare = keep_count(k, delta)
+
+    rounds = 0
+    while rights.size > target:
+        s = rights.size
+        npairs = s // 2
+        if npairs <= spare:
+            break
+        lefts = np.empty_like(rights)
+        lefts[0] = 0
+        lefts[1:] = rights[:-1] + 1
+
+        pair_lefts = lefts[0 : 2 * npairs : 2]
+        pair_rights = rights[1 : 2 * npairs : 2]
+        errors = oracle.error_sq_batch(pair_lefts, pair_rights)
+
+        keep = np.zeros(s, dtype=bool)
+        keep[1 : 2 * npairs : 2] = True
+        if s % 2:
+            keep[-1] = True
+        if spare >= npairs:
+            kept_pairs = np.arange(npairs)
+        else:
+            kept_pairs = np.argpartition(errors, npairs - spare)[npairs - spare :]
+        keep[2 * kept_pairs] = True
+        rights = rights[keep]
+        rounds += 1
+
+    final = Partition(sparse.n, rights)
+    fits = [oracle.fit(a, b) for a, b in final]
+    func = PiecewisePolynomial(sparse.n, fits)
+    return GeneralMergingResult(
+        function=func, partition=final, rounds=rounds, initial_intervals=initial
+    )
+
+
+def construct_piecewise_polynomial(
+    q: Union[SparseFunction, np.ndarray],
+    k: int,
+    degree: int,
+    delta: float = 1.0,
+    gamma: float = 1.0,
+) -> PiecewisePolynomial:
+    """Theorem 2.3 / Corollary 4.1: an ``O(k)``-piece degree-``degree`` fit.
+
+    Convenience wrapper constructing the polynomial oracle internally and
+    returning only the fitted function.
+    """
+    sparse = q if isinstance(q, SparseFunction) else SparseFunction.from_dense(q)
+    oracle = PolynomialOracle(sparse, degree)
+    return construct_general_histogram(
+        sparse, k, oracle, delta=delta, gamma=gamma
+    ).function

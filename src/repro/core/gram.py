@@ -1,0 +1,98 @@
+"""Discrete Chebyshev (Gram) polynomials: the orthonormal basis for FitPoly.
+
+The paper (Appendix A, Algorithm 4 ``EvaluateGram``) evaluates the Gram
+polynomials through explicit falling-factorial formulas in ``O(d^2)`` per
+point.  Those formulas overflow and cancel catastrophically in floating
+point for the interval lengths in the experiments (up to 16384), so we use
+the standard numerically-stable *normalized three-term recurrence* instead.
+
+The monic discrete Chebyshev polynomials ``t_r`` on ``{0, ..., N-1}`` with
+uniform weight satisfy
+
+    t_{r+1}(x) = (x - c) t_r(x) - b_r t_{r-1}(x),   c = (N - 1) / 2,
+    b_r = r^2 (N^2 - r^2) / (4 (4 r^2 - 1)),
+
+with ``||t_r||^2 = N * prod_{j<=r} b_j`` (``b_r`` is the classical norm
+ratio ``||t_r||^2 / ||t_{r-1}||^2``).  Writing ``p_r = t_r / ||t_r||`` gives
+the orthonormal recurrence used below:
+
+    p_0(x)     = 1 / sqrt(N)
+    p_{r+1}(x) = ((x - c) p_r(x) - sqrt(b_r) p_{r-1}(x)) / sqrt(b_{r+1}).
+
+Evaluating all of ``p_0, ..., p_d`` at a point costs ``O(d)``, which makes
+the full sparse projection ``O(d s)`` — strictly better than the paper's
+``O(d^2 s)`` bound while producing the same projection.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "gram_recurrence_coefficients",
+    "evaluate_gram_basis",
+    "gram_basis_matrix",
+]
+
+
+def gram_recurrence_coefficients(num_points: int, degree: int) -> np.ndarray:
+    """Norm-ratio coefficients ``b_1, ..., b_degree`` for ``N = num_points``.
+
+    ``b_r = r^2 (N^2 - r^2) / (4 (4 r^2 - 1))``.  Coefficients vanish at
+    ``r = N``, reflecting that only ``N`` polynomials can be independent on
+    ``N`` points; callers must keep ``degree <= N - 1``.
+    """
+    if num_points < 1:
+        raise ValueError(f"need at least one point, got {num_points}")
+    if degree < 0:
+        raise ValueError(f"degree must be nonnegative, got {degree}")
+    if degree > num_points - 1:
+        raise ValueError(
+            f"degree {degree} exceeds the {num_points}-point basis limit "
+            f"{num_points - 1}"
+        )
+    r = np.arange(1, degree + 1, dtype=np.float64)
+    n_sq = float(num_points) * float(num_points)
+    return (r * r) * (n_sq - r * r) / (4.0 * (4.0 * r * r - 1.0))
+
+
+def evaluate_gram_basis(
+    x: Union[np.ndarray, int], degree: int, num_points: int
+) -> np.ndarray:
+    """Values ``p_r(x)`` of the orthonormal Gram basis, shape ``(degree+1, len(x))``.
+
+    Parameters
+    ----------
+    x:
+        Evaluation points in ``{0, ..., num_points - 1}`` (float positions
+        are allowed: the polynomials extend naturally off-grid).
+    degree:
+        Highest polynomial degree, at most ``num_points - 1``.
+    num_points:
+        Size ``N`` of the uniform grid the basis is orthonormal on.
+    """
+    xs = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    b = gram_recurrence_coefficients(num_points, degree)
+    centre = (num_points - 1) / 2.0
+
+    out = np.empty((degree + 1, xs.size))
+    out[0] = 1.0 / np.sqrt(float(num_points))
+    if degree >= 1:
+        sqrt_b = np.sqrt(b)
+        shifted = xs - centre
+        out[1] = shifted * out[0] / sqrt_b[0]
+        for r in range(1, degree):
+            out[r + 1] = (shifted * out[r] - sqrt_b[r - 1] * out[r - 1]) / sqrt_b[r]
+    return out
+
+
+def gram_basis_matrix(num_points: int, degree: int) -> np.ndarray:
+    """The full orthonormal basis on the grid: shape ``(degree+1, num_points)``.
+
+    Rows are the ``p_r`` evaluated at ``0, ..., N-1``; ``B @ B.T`` is the
+    identity up to floating-point error.  Intended for tests and for dense
+    evaluation of fitted pieces.
+    """
+    return evaluate_gram_basis(np.arange(num_points), degree, num_points)

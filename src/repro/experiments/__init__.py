@@ -1,0 +1,23 @@
+"""Experiment runners reproducing every table and figure of the paper.
+
+Each submodule exposes ``run_*`` functions returning structured results and
+a ``main(argv)`` CLI entry point; ``python -m repro <name>`` dispatches to
+them (see :mod:`repro.__main__`).
+
+Paper artifacts: :mod:`.figure1`, :mod:`.table1`, :mod:`.figure2`.
+Extensions:      :mod:`.scaling`, :mod:`.ablation`, :mod:`.pareto`,
+                 :mod:`.poly`, :mod:`.lower_bound`.
+"""
+
+from . import ablation, figure1, figure2, lower_bound, pareto, poly, scaling, table1
+
+__all__ = [
+    "ablation",
+    "figure1",
+    "figure2",
+    "lower_bound",
+    "pareto",
+    "poly",
+    "scaling",
+    "table1",
+]

@@ -1,0 +1,122 @@
+"""EXT-lower: empirical sample-complexity checks (Lemma 3.1, Theorem 3.2).
+
+Two executable versions of the paper's information-theoretic results:
+
+1. *Upper bound* (Lemma 3.1): the Monte-Carlo mean of ``||p_hat_m - p||_2``
+   must sit below ``1/sqrt(m)`` and track the exact expectation
+   ``sqrt(sum p_i (1 - p_i) / m)``.
+2. *Lower bound* (Theorem 3.2): the error probability of the *optimal*
+   tester distinguishing the hard pair ``(p1, p2)`` decays like
+   ``exp(-Theta(m eps^2))`` — so achieving confidence ``1 - delta`` really
+   does require ``m = Omega(eps^-2 log(1/delta))`` samples, matching the
+   upper bound up to constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets import learning_datasets
+from ..sampling.empirical import draw_empirical
+from ..sampling.theory import (
+    distinguishing_error,
+    expected_empirical_l2,
+    hellinger_sample_lower_bound,
+)
+from .reporting import format_table, write_csv
+
+__all__ = ["run_upper_bound", "run_lower_bound", "main"]
+
+
+def run_upper_bound(
+    sample_sizes: Sequence[int] = (100, 400, 1600, 6400, 25600),
+    trials: int = 30,
+    seed: int = 0,
+) -> List[tuple]:
+    """Mean empirical-distribution error vs the 1/sqrt(m) envelope."""
+    p, _ = learning_datasets(seed=seed)["hist'"]
+    rng = np.random.default_rng(seed)
+    rows = []
+    for m in sample_sizes:
+        errors = [p.l2_to(draw_empirical(p, m, rng)) for _ in range(trials)]
+        rows.append(
+            (
+                m,
+                float(np.mean(errors)),
+                expected_empirical_l2(p, m),
+                1.0 / math.sqrt(m),
+            )
+        )
+    return rows
+
+
+def run_lower_bound(
+    eps_values: Sequence[float] = (0.05, 0.1, 0.2),
+    sample_sizes: Sequence[int] = (25, 50, 100, 200, 400, 800),
+    trials: int = 4000,
+    seed: int = 0,
+) -> List[tuple]:
+    """Error probability of the optimal tester for the hard pair."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for eps in eps_values:
+        for m in sample_sizes:
+            err = distinguishing_error(eps, m, trials, rng)
+            rows.append((eps, m, err, m * eps * eps))
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="EXT-lower: sample complexity")
+    parser.add_argument("--trials", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    upper = run_upper_bound(seed=args.seed)
+    print(
+        format_table(
+            ("m", "mean_l2", "exact_E", "1/sqrt(m)"),
+            upper,
+            title="Lemma 3.1: empirical error vs the 1/sqrt(m) envelope",
+            float_format="{:.5f}",
+        )
+    )
+
+    print()
+    lower = run_lower_bound(trials=args.trials, seed=args.seed)
+    print(
+        format_table(
+            ("eps", "m", "tester_error", "m*eps^2"),
+            lower,
+            title="Theorem 3.2: optimal-tester error for the hard pair "
+            "(decays once m*eps^2 >> 1)",
+            float_format="{:.4f}",
+        )
+    )
+
+    print()
+    bound_rows = [
+        (f"{eps:g}", f"{delta:g}", round(hellinger_sample_lower_bound(eps, delta), 1))
+        for eps in (0.05, 0.1, 0.2)
+        for delta in (0.1, 0.01, 0.001)
+    ]
+    print(
+        format_table(
+            ("eps", "delta", "required_m_lower"),
+            bound_rows,
+            title="Hellinger lower bound Omega(log(1/delta)/h^2)",
+            float_format="{:.1f}",
+        )
+    )
+    if args.csv:
+        write_csv(args.csv, ("eps", "m", "tester_error", "m_eps_sq"), lower)
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

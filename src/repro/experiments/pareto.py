@@ -1,0 +1,123 @@
+"""EXT-pareto: one hierarchical run versus every piece budget (Theorem 2.2/3.5).
+
+A single invocation of Algorithm 2 must, for *every* ``k``, contain a level
+with at most ``8k`` intervals whose flattening error is at most
+``2 opt_k``.  This runner verifies both halves against the exact DP across
+a ladder of ``k`` values and reports the ratios, plus the Theorem 2.2 error
+estimates ``e_t`` next to the true errors when sampling is enabled.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.exact_dp import v_optimal_histogram
+from ..core.hierarchical import construct_hierarchical_histogram
+from ..datasets import learning_datasets, make_hist_dataset
+from ..sampling.learner import MultiscaleLearner
+from ..sampling.empirical import draw_empirical
+from .reporting import format_table, write_csv
+
+__all__ = ["ParetoPoint", "run_pareto", "format_pareto", "run_estimate_check", "main"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    k: int
+    pieces: int
+    piece_bound: int  # 8k
+    error: float
+    opt_k: float
+    error_ratio: float  # must be <= 2 by Theorem 3.5
+
+
+def run_pareto(
+    ks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    seed: int = 0,
+) -> List[ParetoPoint]:
+    """Check the 8k-piece / 2*opt_k guarantee on the hist dataset."""
+    values = make_hist_dataset(seed=seed)
+    hierarchy = construct_hierarchical_histogram(values)
+    points: List[ParetoPoint] = []
+    for k in ks:
+        part = hierarchy.level_for_budget(k)
+        level = hierarchy.levels.index(part)
+        error = hierarchy.error_at_level(level)
+        opt = v_optimal_histogram(values, k).error
+        points.append(
+            ParetoPoint(
+                k=k,
+                pieces=part.num_intervals,
+                piece_bound=8 * k,
+                error=error,
+                opt_k=opt,
+                error_ratio=error / opt if opt > 0 else float("inf"),
+            )
+        )
+    return points
+
+
+def format_pareto(points: List[ParetoPoint]) -> str:
+    rows = [
+        (p.k, p.pieces, p.piece_bound, p.error, p.opt_k, p.error_ratio)
+        for p in points
+    ]
+    return format_table(
+        ("k", "pieces", "8k_bound", "error", "opt_k", "ratio(<=2)"),
+        rows,
+        title="Multi-scale hierarchy vs exact optimum (hist dataset)",
+    )
+
+
+def run_estimate_check(
+    m: int = 10000, ks: Sequence[int] = (5, 10, 20), seed: int = 0
+) -> List[tuple]:
+    """Theorem 2.2 part (ii): ``e_t`` tracks the true error within ~eps."""
+    rows = []
+    rng = np.random.default_rng(seed)
+    for name, (p, _) in learning_datasets(seed=seed).items():
+        p_hat = draw_empirical(p, m, rng)
+        learner = MultiscaleLearner(p_hat)
+        for k in ks:
+            hist = learner.histogram_for(k)
+            estimate = learner.error_estimate_for(k)
+            truth = p.l2_to(hist)
+            rows.append((name, k, hist.num_pieces, estimate, truth, abs(estimate - truth)))
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="EXT-pareto: Theorem 2.2/3.5 checks")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--samples", type=int, default=10000)
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    points = run_pareto(seed=args.seed)
+    print(format_pareto(points))
+
+    print()
+    rows = run_estimate_check(m=args.samples, seed=args.seed)
+    print(
+        format_table(
+            ("dataset", "k", "pieces", "estimate_e_t", "true_error", "gap"),
+            rows,
+            title=f"Error estimates e_t vs truth (m={args.samples})",
+            float_format="{:.5f}",
+        )
+    )
+    if args.csv:
+        write_csv(
+            args.csv,
+            ("k", "pieces", "bound", "error", "opt_k", "ratio"),
+            [(p.k, p.pieces, p.piece_bound, p.error, p.opt_k, p.error_ratio) for p in points],
+        )
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Plain-text and CSV reporting helpers for the experiment harness.
+
+The paper's tables and figures are reproduced as aligned text tables and
+data series printed to stdout (no plotting dependencies are available
+offline); every runner can also dump CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "write_csv", "timeit_best"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:])]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Write rows to ``path`` as CSV with a header line."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def rows_to_csv_string(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """CSV text for embedding in docs or test fixtures."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def timeit_best(func, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``func()`` in milliseconds.
+
+    The paper averages over at least 10 trials for fast algorithms; taking
+    the best of a few repeats is the standard noise-resistant equivalent for
+    the relative-time comparisons we reproduce.
+    """
+    import time
+
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        func()
+        t1 = time.perf_counter()
+        best = min(best, (t1 - t0) * 1000.0)
+    return best

@@ -1,0 +1,104 @@
+"""EXT-scaling: running time as a function of the input size.
+
+Checks the complexity claims of Theorem 3.4 / Corollary 3.1 empirically:
+``merging`` and ``fastmerging`` should scale linearly in ``n`` while the
+exact DP scales like ``n log n`` (divide-and-conquer form) at a far larger
+constant, and the quadratic DP explodes.  The doubling ratio column makes
+the growth order visible without plotting: linear algorithms approach 2.0
+per doubling, the quadratic DP approaches 4.0.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+from ..baselines.exact_dp import v_optimal_histogram
+from ..core.fastmerging import construct_fast_histogram
+from ..core.merging import construct_histogram
+from ..datasets import make_dow_dataset
+from .reporting import format_table, timeit_best, write_csv
+
+__all__ = ["ScalingPoint", "run_scaling", "format_scaling", "main"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    algorithm: str
+    n: int
+    time_ms: float
+    ratio_to_previous: Optional[float]
+
+
+def run_scaling(
+    sizes: Sequence[int] = (1024, 2048, 4096, 8192, 16384),
+    k: int = 20,
+    repeats: int = 3,
+    include_naive_dp: bool = False,
+    seed: int = 0,
+) -> List[ScalingPoint]:
+    """Time each algorithm across a doubling ladder of input sizes."""
+    full = make_dow_dataset(n=max(sizes), seed=seed + 7)
+    algorithms = {
+        "merging": lambda v: construct_histogram(v, k, delta=1000.0),
+        "fastmerging": lambda v: construct_fast_histogram(v, k, delta=1000.0),
+    }
+    if include_naive_dp:
+        algorithms["exactdp"] = lambda v: v_optimal_histogram(v, k)
+
+    points: List[ScalingPoint] = []
+    for name, runner in algorithms.items():
+        previous: Optional[float] = None
+        for n in sizes:
+            values = full[:n]
+            time_ms = timeit_best(lambda: runner(values), repeats=repeats)
+            ratio = (time_ms / previous) if previous else None
+            points.append(
+                ScalingPoint(algorithm=name, n=n, time_ms=time_ms, ratio_to_previous=ratio)
+            )
+            previous = time_ms
+    return points
+
+
+def format_scaling(points: List[ScalingPoint]) -> str:
+    rows = [
+        (
+            p.algorithm,
+            p.n,
+            p.time_ms,
+            p.ratio_to_previous if p.ratio_to_previous is not None else float("nan"),
+        )
+        for p in points
+    ]
+    return format_table(
+        ("algorithm", "n", "time_ms", "x_per_doubling"),
+        rows,
+        title="Running-time scaling (linear algorithms approach 2.0 per doubling)",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="EXT-scaling: time vs input size")
+    parser.add_argument("--k", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--include-naive-dp", action="store_true")
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    points = run_scaling(
+        k=args.k, repeats=args.repeats, include_naive_dp=args.include_naive_dp
+    )
+    print(format_scaling(points))
+    if args.csv:
+        write_csv(
+            args.csv,
+            ("algorithm", "n", "time_ms", "ratio"),
+            [(p.algorithm, p.n, p.time_ms, p.ratio_to_previous) for p in points],
+        )
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

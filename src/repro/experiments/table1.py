@@ -1,0 +1,199 @@
+"""Table 1: offline histogram approximation — error and running time.
+
+Reproduces the paper's central comparison on the three Figure 1 datasets:
+
+* ``exactdp``      — exact V-optimal DP [JKM+98] (block-vectorized but still
+  O(n^2 k): the ``dow`` cell takes on the order of a minute, faithfully
+  orders of magnitude slower than merging),
+* ``merging``      — Algorithm 1 with ``delta = 1000``, ``gamma = 1``
+  (output: ``2k + 1`` pieces),
+* ``merging2``     — same with ``k' = k/2`` (output: ``k + 1`` pieces),
+* ``fastmerging``  — the aggressive group-merging variant,
+* ``fastmerging2`` — ditto with ``k' = k/2``,
+* ``dual``         — the [JKM+98] dual greedy with binary search over the
+  error budget,
+* ``gks``          — our GKS06-style ``(1+delta)``-approximate DP
+  (extension; the paper quotes AHIST-L-Delta's published numbers instead).
+
+Relative errors are ratios to ``exactdp``; relative times are ratios to
+``fastmerging2`` — exactly the normalizations of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.dual_greedy import dual_histogram
+from ..baselines.exact_dp import v_optimal_histogram
+from ..baselines.gks import gks_histogram
+from ..core.fastmerging import construct_fast_histogram
+from ..core.merging import construct_histogram
+from ..datasets import offline_datasets
+from .reporting import format_table, timeit_best, write_csv
+
+__all__ = ["Table1Cell", "ALGORITHMS", "run_algorithm", "run_table1", "format_table1", "main"]
+
+MERGE_DELTA = 1000.0
+MERGE_GAMMA = 1.0
+
+ALGORITHMS = (
+    "exactdp",
+    "merging",
+    "merging2",
+    "fastmerging",
+    "fastmerging2",
+    "dual",
+    "gks",
+)
+
+#: Algorithms too slow to benefit from repeat timing.
+SLOW_ALGORITHMS = frozenset({"exactdp", "gks"})
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One (dataset, algorithm) measurement."""
+
+    dataset: str
+    algorithm: str
+    error: float
+    pieces: int
+    time_ms: float
+    rel_error: Optional[float] = None
+    rel_time: Optional[float] = None
+
+
+def run_algorithm(name: str, values: np.ndarray, k: int):
+    """Run one Table 1 algorithm; returns ``(error, pieces)``."""
+    if name == "exactdp":
+        result = v_optimal_histogram(values, k)
+        return result.error, result.num_pieces
+    if name == "merging":
+        hist = construct_histogram(values, k, delta=MERGE_DELTA, gamma=MERGE_GAMMA)
+        return hist.l2_to_dense(values), hist.num_pieces
+    if name == "merging2":
+        hist = construct_histogram(
+            values, max(k // 2, 1), delta=MERGE_DELTA, gamma=MERGE_GAMMA
+        )
+        return hist.l2_to_dense(values), hist.num_pieces
+    if name == "fastmerging":
+        hist = construct_fast_histogram(values, k, delta=MERGE_DELTA, gamma=MERGE_GAMMA)
+        return hist.l2_to_dense(values), hist.num_pieces
+    if name == "fastmerging2":
+        hist = construct_fast_histogram(
+            values, max(k // 2, 1), delta=MERGE_DELTA, gamma=MERGE_GAMMA
+        )
+        return hist.l2_to_dense(values), hist.num_pieces
+    if name == "dual":
+        result = dual_histogram(values, k)
+        return result.error, result.num_pieces
+    if name == "gks":
+        result = gks_histogram(values, k, delta=1.0)
+        return result.error, result.num_pieces
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def run_table1(
+    algorithms: Sequence[str] = ALGORITHMS,
+    datasets: Optional[Dict] = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[Table1Cell]:
+    """Measure every (dataset, algorithm) cell and attach relative columns."""
+    data = datasets if datasets is not None else offline_datasets(seed=seed)
+    cells: List[Table1Cell] = []
+    for ds_name, (values, k) in data.items():
+        raw: List[Table1Cell] = []
+        for algo in algorithms:
+            error, pieces = run_algorithm(algo, values, k)
+            reps = 1 if algo in SLOW_ALGORITHMS else repeats
+            time_ms = timeit_best(lambda: run_algorithm(algo, values, k), repeats=reps)
+            raw.append(
+                Table1Cell(
+                    dataset=ds_name,
+                    algorithm=algo,
+                    error=error,
+                    pieces=pieces,
+                    time_ms=time_ms,
+                )
+            )
+        base_error = next((c.error for c in raw if c.algorithm == "exactdp"), None)
+        base_time = next((c.time_ms for c in raw if c.algorithm == "fastmerging2"), None)
+        for cell in raw:
+            cells.append(
+                Table1Cell(
+                    dataset=cell.dataset,
+                    algorithm=cell.algorithm,
+                    error=cell.error,
+                    pieces=cell.pieces,
+                    time_ms=cell.time_ms,
+                    rel_error=(cell.error / base_error) if base_error else None,
+                    rel_time=(cell.time_ms / base_time) if base_time else None,
+                )
+            )
+    return cells
+
+
+def format_table1(cells: List[Table1Cell]) -> str:
+    """Render the measurements in the paper's Table 1 layout."""
+    blocks = []
+    datasets = []
+    for cell in cells:
+        if cell.dataset not in datasets:
+            datasets.append(cell.dataset)
+    for ds_name in datasets:
+        ds_cells = [c for c in cells if c.dataset == ds_name]
+        rows = [
+            (
+                c.algorithm,
+                c.error,
+                c.rel_error if c.rel_error is not None else float("nan"),
+                c.time_ms,
+                c.rel_time if c.rel_time is not None else float("nan"),
+                c.pieces,
+            )
+            for c in ds_cells
+        ]
+        blocks.append(
+            format_table(
+                ("algorithm", "error_l2", "error_rel", "time_ms", "time_rel", "pieces"),
+                rows,
+                title=f"== {ds_name} ==",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="Reproduce Table 1")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the slow exactdp/gks baselines (relative errors omitted)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", type=str, default=None, help="optional CSV output path")
+    args = parser.parse_args(argv)
+
+    algorithms = tuple(a for a in ALGORITHMS if not (args.fast and a in SLOW_ALGORITHMS))
+    cells = run_table1(algorithms=algorithms, repeats=args.repeats, seed=args.seed)
+    print(format_table1(cells))
+    if args.csv:
+        write_csv(
+            args.csv,
+            ("dataset", "algorithm", "error", "rel_error", "time_ms", "rel_time", "pieces"),
+            [
+                (c.dataset, c.algorithm, c.error, c.rel_error, c.time_ms, c.rel_time, c.pieces)
+                for c in cells
+            ],
+        )
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Sampling, empirical distributions, and the agnostic learning pipelines."""
+
+from .distributions import DiscreteDistribution
+from .empirical import draw_empirical, empirical_from_samples
+from .learner import (
+    LearnedHistogram,
+    MultiscaleLearner,
+    learn_histogram,
+    learn_multiscale,
+    learn_piecewise_polynomial,
+    resolve_sample_input,
+)
+from .streaming import StreamingHistogramLearner
+from .theory import (
+    distinguishing_error,
+    expected_empirical_l2,
+    hellinger_sample_lower_bound,
+    lower_bound_pair,
+    sample_size,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "LearnedHistogram",
+    "MultiscaleLearner",
+    "StreamingHistogramLearner",
+    "distinguishing_error",
+    "draw_empirical",
+    "empirical_from_samples",
+    "expected_empirical_l2",
+    "hellinger_sample_lower_bound",
+    "learn_histogram",
+    "learn_multiscale",
+    "learn_piecewise_polynomial",
+    "lower_bound_pair",
+    "resolve_sample_input",
+    "sample_size",
+]

@@ -1,0 +1,41 @@
+"""Stage 1 of the two-stage learner: the empirical distribution.
+
+Lemma 3.1 of the paper: with ``m = Omega(eps^-2 log(1/delta))`` samples the
+empirical distribution ``p_hat_m`` satisfies ``||p_hat_m - p||_2 <= eps``
+with probability ``1 - delta``.  Crucially, ``p_hat_m`` is ``O(m)``-sparse
+regardless of the universe size ``n``, which is what lets stage 2 (the
+merging algorithm) run in time independent of ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sparse import SparseFunction
+from .distributions import DiscreteDistribution
+
+__all__ = ["empirical_from_samples", "draw_empirical"]
+
+
+def empirical_from_samples(samples: np.ndarray, n: int) -> SparseFunction:
+    """The empirical distribution ``p_hat_m`` of a sample multiset.
+
+    ``p_hat_m(i) = |{j : s_j = i}| / m``, returned as a sparse function with
+    at most ``min(m, n)`` nonzeros.
+    """
+    s = np.asarray(samples, dtype=np.int64)
+    if s.ndim != 1 or s.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    if np.any((s < 0) | (s >= n)):
+        raise ValueError("samples must lie in [0, n)")
+    positions, counts = np.unique(s, return_counts=True)
+    return SparseFunction(n, positions, counts / s.size)
+
+
+def draw_empirical(
+    p: DiscreteDistribution, m: int, rng: np.random.Generator
+) -> SparseFunction:
+    """Draw ``m`` samples from ``p`` and return their empirical distribution."""
+    if m < 1:
+        raise ValueError(f"need at least one sample, got {m}")
+    return empirical_from_samples(p.sample(m, rng), p.n)

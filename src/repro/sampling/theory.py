@@ -1,0 +1,124 @@
+"""Sample-complexity theory: Theorem 3.1/3.2 constants and the lower bound.
+
+This module makes the paper's information-theoretic results executable:
+
+* :func:`sample_size` — the upper-bound sample count of Lemma 3.1 with the
+  constants from its proof (``E||p_hat - p||_2 < 1/sqrt(m)`` plus
+  McDiarmid's inequality).
+* :func:`lower_bound_pair` — the two 2-histogram distributions ``p1, p2``
+  from the proof of Theorem 3.2 (``opt_2 = 0``, ``||p1 - p2||_2 =
+  2 sqrt(2) eps``, squared Hellinger distance ``1 - sqrt(1 - 4 eps^2) =
+  4 eps^2 / (1 + sqrt(1 - 4 eps^2)) <= 4 eps^2``; the paper states
+  ``<= 2 eps^2``, which is the ``eps -> 0`` limit of the same quantity —
+  the ``Theta(eps^2)`` scaling that drives the bound is unaffected).
+* :func:`distinguishing_error` — Monte-Carlo error probability of the
+  *optimal* (likelihood-ratio) tester for that pair, used by the
+  EXT-lower experiment to exhibit the ``Omega(eps^-2 log(1/delta))``
+  behaviour empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .distributions import DiscreteDistribution
+
+__all__ = [
+    "sample_size",
+    "expected_empirical_l2",
+    "lower_bound_pair",
+    "distinguishing_error",
+    "hellinger_sample_lower_bound",
+]
+
+
+def sample_size(eps: float, delta: float) -> int:
+    """Samples sufficient for ``||p_hat_m - p||_2 <= eps`` w.p. ``1 - delta``.
+
+    From the proof of Lemma 3.1: ``E[Y] <= 1/sqrt(m) <= eps/4`` requires
+    ``m >= 16 / eps^2``; McDiarmid with deviation ``eta = 3 eps / 4`` needs
+    ``exp(-eta^2 m / 2) <= delta``, i.e. ``m >= (32 / (9 eps^2)) ln(1/delta)``.
+    We return the max of the two (the ``O(eps^-2 log(1/delta))`` bound).
+    """
+    if not (0.0 < eps < 1.0):
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if not (0.0 < delta < 1.0):
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    mean_term = 16.0 / (eps * eps)
+    tail_term = (32.0 / (9.0 * eps * eps)) * math.log(1.0 / delta)
+    return int(math.ceil(max(mean_term, tail_term)))
+
+
+def expected_empirical_l2(p: DiscreteDistribution, m: int) -> float:
+    """Exact ``sqrt(E||p_hat_m - p||_2^2) = sqrt(sum p_i (1 - p_i) / m)``.
+
+    The quantity bounded by ``1/sqrt(m)`` in Lemma 3.1; exposed so tests and
+    experiments can compare the Monte-Carlo average against the exact value.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one sample, got {m}")
+    return float(np.sqrt(np.sum(p.pmf * (1.0 - p.pmf)) / m))
+
+
+def lower_bound_pair(n: int, eps: float) -> Tuple[DiscreteDistribution, DiscreteDistribution]:
+    """The hard pair from Theorem 3.2.
+
+    ``p1(0) = 1/2 + eps = p2(1)``, ``p1(1) = 1/2 - eps = p2(0)``, zero
+    elsewhere.  Both are 2-histograms, so any learner beating l2 error
+    ``eps`` must effectively distinguish them.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if not (0.0 < eps < 0.5):
+        raise ValueError(f"eps must be in (0, 1/2), got {eps}")
+    pmf1 = np.zeros(n)
+    pmf2 = np.zeros(n)
+    pmf1[0] = 0.5 + eps
+    pmf1[1] = 0.5 - eps
+    pmf2[0] = 0.5 - eps
+    pmf2[1] = 0.5 + eps
+    return DiscreteDistribution(pmf1), DiscreteDistribution(pmf2)
+
+
+def hellinger_sample_lower_bound(eps: float, delta: float) -> float:
+    """The ``Omega((1/eps^2) log(1/delta))`` bound instantiated for the pair.
+
+    ``h^2(p1, p2) = 1 - sqrt(1 - 4 eps^2) <= 2 eps^2``, and any tester with
+    error probability ``delta`` needs ``Omega(log(1/delta) / h^2)`` samples.
+    """
+    if not (0.0 < eps < 0.5):
+        raise ValueError(f"eps must be in (0, 1/2), got {eps}")
+    if not (0.0 < delta < 0.5):
+        raise ValueError(f"delta must be in (0, 1/2), got {delta}")
+    h_sq = 1.0 - math.sqrt(1.0 - 4.0 * eps * eps)
+    return math.log(1.0 / delta) / h_sq
+
+
+def distinguishing_error(
+    eps: float, m: int, trials: int, rng: np.random.Generator
+) -> float:
+    """Monte-Carlo error of the optimal tester for ``(p1, p2)`` at ``m`` samples.
+
+    The likelihood ratio depends only on the counts of symbols 0 and 1: the
+    tester outputs ``p1`` iff ``count(0) >= count(1)``, breaking ties toward
+    ``p1``.  The truth alternates between the two hypotheses across trials.
+
+    Since both distributions live on two symbols, each trial reduces to one
+    binomial draw — this keeps the experiment fast at large ``m``.
+    """
+    if m < 1 or trials < 1:
+        raise ValueError("m and trials must be positive")
+    if not (0.0 < eps < 0.5):
+        raise ValueError(f"eps must be in (0, 1/2), got {eps}")
+    errors = 0
+    for t in range(trials):
+        truth_is_p1 = t % 2 == 0
+        p_zero = 0.5 + eps if truth_is_p1 else 0.5 - eps
+        zeros = rng.binomial(m, p_zero)
+        guess_p1 = zeros >= m - zeros
+        if guess_p1 != truth_is_p1:
+            errors += 1
+    return errors / trials

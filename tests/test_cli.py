@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestDispatch:
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+        assert "figure2" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "figure1",
+            "table1",
+            "figure2",
+            "scaling",
+            "ablation",
+            "pareto",
+            "poly",
+            "lower_bound",
+        }
+
+
+class TestRunners:
+    """Light end-to-end runs through the real CLI entry points."""
+
+    def test_figure1_runs(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "hist" in out and "dow" in out
+
+    def test_figure1_csv(self, tmp_path, capsys):
+        prefix = str(tmp_path / "fig1")
+        assert main(["figure1", "--csv-prefix", prefix]) == 0
+        assert (tmp_path / "fig1_hist.csv").exists()
+
+    def test_ablation_runs(self, capsys):
+        assert main(["ablation"]) == 0
+        assert "delta" in capsys.readouterr().out
+
+    def test_lower_bound_runs_reduced(self, capsys):
+        assert main(["lower_bound", "--trials", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "1/sqrt(m)" in out and "tester_error" in out
+
+    def test_scaling_csv(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "scaling.csv")
+        # Reduced ladder via run_scaling is covered elsewhere; the CLI run
+        # uses defaults, so keep it to the small sizes by calling the module
+        # main with an explicit csv to check the write path.
+        from repro.experiments import scaling
+
+        points = scaling.run_scaling(sizes=(256, 512), k=3, repeats=1)
+        from repro.experiments.reporting import write_csv
+
+        write_csv(
+            csv_path,
+            ("algorithm", "n", "time_ms", "ratio"),
+            [(p.algorithm, p.n, p.time_ms, p.ratio_to_previous) for p in points],
+        )
+        assert open(csv_path).readline().startswith("algorithm")
+
+
+@pytest.mark.slow
+class TestSubprocess:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "table1" in result.stdout

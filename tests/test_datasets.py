@@ -1,0 +1,144 @@
+"""Tests for the experiment datasets (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    learning_datasets,
+    make_dow_dataset,
+    make_hist_dataset,
+    make_poly_dataset,
+    normalize_to_distribution,
+    offline_datasets,
+    subsample_uniform,
+)
+from repro.datasets import underlying_hist, underlying_poly
+
+
+class TestHistDataset:
+    def test_defaults_match_paper(self):
+        values = make_hist_dataset()
+        assert values.size == 1000
+        # Figure 1: values roughly in [0, 10].
+        assert -3.0 < values.min() and values.max() < 13.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(make_hist_dataset(seed=4), make_hist_dataset(seed=4))
+        assert not np.array_equal(make_hist_dataset(seed=4), make_hist_dataset(seed=5))
+
+    def test_underlying_is_k_pieces(self):
+        signal = underlying_hist(n=500, pieces=7)
+        assert signal.num_pieces == 7
+
+    def test_underlying_jumps_are_genuine(self):
+        signal = underlying_hist(n=500, pieces=10)
+        values = signal.values
+        for a, b in zip(values, values[1:]):
+            assert abs(a - b) >= (9.5 - 0.5) / 4.0 - 1e-12
+
+    def test_underlying_validation(self):
+        with pytest.raises(ValueError, match="pieces"):
+            underlying_hist(n=5, pieces=10)
+
+    def test_noise_level(self):
+        clean = underlying_hist(n=1000, pieces=10, rng=np.random.default_rng(0)).to_dense()
+        noisy = make_hist_dataset(n=1000, pieces=10, noise=0.5, seed=0)
+        residual = noisy - clean
+        assert 0.3 < residual.std() < 0.7
+
+
+class TestPolyDataset:
+    def test_defaults_match_paper(self):
+        values = make_poly_dataset()
+        assert values.size == 4000
+        # Figure 1: values roughly in [0, 30].
+        assert -6.0 < values.min() and values.max() < 36.0
+
+    def test_underlying_is_smooth_degree_5(self):
+        signal = underlying_poly(n=1000, degree=5)
+        x = np.arange(1000, dtype=np.float64)
+        coeffs = np.polynomial.polynomial.polyfit(x, signal, 5)
+        recon = np.polynomial.polynomial.polyval(x, coeffs)
+        np.testing.assert_allclose(recon, signal, atol=1e-6)
+
+    def test_underlying_validation(self):
+        with pytest.raises(ValueError, match="degree"):
+            underlying_poly(degree=0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(make_poly_dataset(seed=2), make_poly_dataset(seed=2))
+
+
+class TestDowDataset:
+    def test_defaults_match_paper(self):
+        values = make_dow_dataset()
+        assert values.size == 16384
+        assert np.all(values > 0.0)
+
+    def test_positive_everywhere(self):
+        for seed in range(3):
+            assert np.all(make_dow_dataset(n=2000, seed=seed) > 0.0)
+
+    def test_starts_near_start_level(self):
+        values = make_dow_dataset(start=100.0, seed=1)
+        assert values[0] == pytest.approx(100.0)
+
+    def test_has_multi_scale_structure(self):
+        """The surrogate must not be well fit by few pieces (like the DJIA)."""
+        from repro import opt_k
+
+        values = make_dow_dataset(n=2048)
+        few = opt_k(values, 4)
+        many = opt_k(values, 64)
+        assert few > 3.0 * many
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_dow_dataset(n=1)
+        with pytest.raises(ValueError):
+            make_dow_dataset(start=-5.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(make_dow_dataset(seed=9), make_dow_dataset(seed=9))
+
+
+class TestHelpers:
+    def test_subsample_uniform(self):
+        values = np.arange(16, dtype=np.float64)
+        out = subsample_uniform(values, 4)
+        np.testing.assert_array_equal(out, [0.0, 4.0, 8.0, 12.0])
+
+    def test_subsample_factor_one(self):
+        values = np.arange(5, dtype=np.float64)
+        np.testing.assert_array_equal(subsample_uniform(values, 1), values)
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            subsample_uniform(np.arange(4, dtype=np.float64), 0)
+
+    def test_normalize_clips_and_sums(self):
+        values = np.asarray([2.0, -1.0, 2.0])
+        p = normalize_to_distribution(values)
+        np.testing.assert_allclose(p.pmf, [0.5, 0.0, 0.5])
+
+
+class TestDatasetRegistries:
+    def test_offline_contents(self):
+        data = offline_datasets()
+        assert set(data) == {"hist", "poly", "dow"}
+        assert data["hist"][1] == 10
+        assert data["poly"][1] == 10
+        assert data["dow"][1] == 50
+
+    def test_learning_supports_roughly_1000(self):
+        """The paper subsamples so all supports are ~1000 (Section 5.2)."""
+        data = learning_datasets()
+        assert set(data) == {"hist'", "poly'", "dow'"}
+        for name, (p, _) in data.items():
+            assert 900 <= p.n <= 1100, name
+
+    def test_learning_entries_are_distributions(self):
+        for name, (p, k) in learning_datasets().items():
+            assert p.pmf.sum() == pytest.approx(1.0)
+            assert np.all(p.pmf >= 0.0)
+            assert k in (10, 50)

@@ -1,0 +1,157 @@
+"""Tests for repro.sampling.distributions.DiscreteDistribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DiscreteDistribution, Histogram, Partition, SparseFunction
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = DiscreteDistribution(np.asarray([0.25, 0.75]))
+        assert p.n == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            DiscreteDistribution(np.asarray([1.2, -0.2]))
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            DiscreteDistribution(np.asarray([0.4, 0.4]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DiscreteDistribution(np.asarray([]))
+
+    def test_from_nonnegative(self):
+        p = DiscreteDistribution.from_nonnegative(np.asarray([2.0, 6.0]))
+        np.testing.assert_allclose(p.pmf, [0.25, 0.75])
+
+    def test_from_nonnegative_rejects_zero_mass(self):
+        with pytest.raises(ValueError, match="positive total"):
+            DiscreteDistribution.from_nonnegative(np.zeros(3))
+
+    def test_from_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            DiscreteDistribution.from_nonnegative(np.asarray([-1.0, 2.0]))
+
+    def test_uniform(self):
+        p = DiscreteDistribution.uniform(4)
+        np.testing.assert_allclose(p.pmf, np.full(4, 0.25))
+
+    def test_tiny_negative_noise_clipped(self):
+        p = DiscreteDistribution(np.asarray([0.5, 0.5 + 1e-12, -1e-12]))
+        assert np.all(p.pmf >= 0.0)
+        assert p.pmf.sum() == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self, rng):
+        p = DiscreteDistribution.uniform(10)
+        s = p.sample(500, rng)
+        assert s.shape == (500,)
+        assert s.min() >= 0 and s.max() <= 9
+        assert s.dtype == np.int64
+
+    def test_sample_zero(self, rng):
+        p = DiscreteDistribution.uniform(3)
+        assert p.sample(0, rng).size == 0
+
+    def test_sample_negative_raises(self, rng):
+        p = DiscreteDistribution.uniform(3)
+        with pytest.raises(ValueError):
+            p.sample(-1, rng)
+
+    def test_point_mass_sampling(self, rng):
+        pmf = np.zeros(5)
+        pmf[3] = 1.0
+        p = DiscreteDistribution(pmf)
+        assert np.all(p.sample(100, rng) == 3)
+
+    def test_frequencies_converge(self, rng):
+        p = DiscreteDistribution(np.asarray([0.7, 0.2, 0.1]))
+        s = p.sample(200_000, rng)
+        freqs = np.bincount(s, minlength=3) / s.size
+        np.testing.assert_allclose(freqs, p.pmf, atol=0.01)
+
+    def test_deterministic_given_seed(self):
+        p = DiscreteDistribution.uniform(10)
+        a = p.sample(50, np.random.default_rng(5))
+        b = p.sample(50, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDistances:
+    def test_l2_to_array(self):
+        p = DiscreteDistribution(np.asarray([0.5, 0.5]))
+        q = np.asarray([1.0, 0.0])
+        assert p.l2_to(q) == pytest.approx(np.sqrt(0.5))
+
+    def test_l2_to_distribution(self):
+        p = DiscreteDistribution(np.asarray([0.5, 0.5]))
+        q = DiscreteDistribution(np.asarray([1.0, 0.0]))
+        assert p.l2_to(q) == pytest.approx(np.sqrt(0.5))
+
+    def test_l2_to_histogram(self):
+        p = DiscreteDistribution(np.asarray([0.25, 0.25, 0.25, 0.25]))
+        h = Histogram(Partition(4, [3]), [0.25])
+        assert p.l2_to(h) == pytest.approx(0.0)
+
+    def test_l2_to_sparse(self):
+        p = DiscreteDistribution(np.asarray([0.5, 0.5, 0.0]))
+        q = SparseFunction(3, [0, 1], [0.5, 0.5])
+        assert p.l2_to(q) == pytest.approx(0.0)
+
+    def test_l2_to_self_zero(self):
+        p = DiscreteDistribution.uniform(7)
+        assert p.l2_to(p) == 0.0
+
+    def test_paper_lower_bound_pair_distance(self):
+        """||p1 - p2||_2 = 2 sqrt(2) eps (proof of Theorem 3.2)."""
+        eps = 0.1
+        pmf1 = np.zeros(5)
+        pmf2 = np.zeros(5)
+        pmf1[0], pmf1[1] = 0.5 + eps, 0.5 - eps
+        pmf2[0], pmf2[1] = 0.5 - eps, 0.5 + eps
+        p1, p2 = DiscreteDistribution(pmf1), DiscreteDistribution(pmf2)
+        assert p1.l2_to(p2) == pytest.approx(2.0 * np.sqrt(2.0) * eps)
+
+    def test_hellinger_formula(self):
+        """h^2(p1, p2) = 1 - sqrt(1 - 4 eps^2) for the hard pair."""
+        eps = 0.2
+        pmf1 = np.asarray([0.5 + eps, 0.5 - eps])
+        pmf2 = np.asarray([0.5 - eps, 0.5 + eps])
+        p1, p2 = DiscreteDistribution(pmf1), DiscreteDistribution(pmf2)
+        expected = np.sqrt(1.0 - np.sqrt(1.0 - 4.0 * eps * eps))
+        assert p1.hellinger_to(p2) == pytest.approx(expected)
+
+    def test_hellinger_bounds(self):
+        p = DiscreteDistribution(np.asarray([1.0, 0.0]))
+        q = DiscreteDistribution(np.asarray([0.0, 1.0]))
+        assert p.hellinger_to(q) == pytest.approx(1.0)
+        assert p.hellinger_to(p) == pytest.approx(0.0)
+
+    def test_total_variation(self):
+        p = DiscreteDistribution(np.asarray([1.0, 0.0]))
+        q = DiscreteDistribution(np.asarray([0.5, 0.5]))
+        assert p.total_variation_to(q) == pytest.approx(0.5)
+
+    def test_size_mismatch(self):
+        p = DiscreteDistribution.uniform(3)
+        q = DiscreteDistribution.uniform(4)
+        with pytest.raises(ValueError, match="universe"):
+            p.hellinger_to(q)
+        with pytest.raises(ValueError, match="universe"):
+            p.total_variation_to(q)
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=20)
+    def test_metric_sanity_property(self, n):
+        rng = np.random.default_rng(n)
+        p = DiscreteDistribution.from_nonnegative(rng.random(n) + 0.01)
+        q = DiscreteDistribution.from_nonnegative(rng.random(n) + 0.01)
+        assert 0.0 <= p.hellinger_to(q) <= 1.0 + 1e-12
+        assert 0.0 <= p.total_variation_to(q) <= 1.0 + 1e-12
+        assert p.hellinger_to(q) == pytest.approx(q.hellinger_to(p))

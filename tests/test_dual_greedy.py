@@ -1,0 +1,151 @@
+"""Tests for the dual greedy baseline (repro.baselines.dual_greedy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    PrefixSums,
+    SparseFunction,
+    dual_histogram,
+    greedy_histogram_for_budget,
+    v_optimal_histogram,
+)
+
+from conftest import dense_arrays, sparse_functions
+
+
+class TestGreedySweep:
+    def test_zero_budget_gives_exact_representation(self, step_signal):
+        part = greedy_histogram_for_budget(step_signal, 0.0)
+        # Every bucket must have zero flattening error; since the noisy
+        # signal has all-distinct values, buckets are singletons.
+        assert part.num_intervals == step_signal.size
+
+    def test_infinite_budget_gives_one_bucket(self, step_signal):
+        total = float(np.sum((step_signal - step_signal.mean()) ** 2))
+        part = greedy_histogram_for_budget(step_signal, total + 1.0)
+        assert part.num_intervals == 1
+
+    def test_bucket_errors_respect_budget(self, step_signal):
+        budget = 1.5
+        part = greedy_histogram_for_budget(step_signal, budget)
+        q = SparseFunction.from_dense(step_signal)
+        ps = PrefixSums(q)
+        for a, b in part:
+            assert ps.interval_err(a, b) <= budget + 1e-9
+
+    def test_piece_count_monotone_in_budget(self, step_signal):
+        budgets = [0.1, 0.5, 2.0, 10.0, 100.0]
+        counts = [
+            greedy_histogram_for_budget(step_signal, b).num_intervals
+            for b in budgets
+        ]
+        for earlier, later in zip(counts, counts[1:]):
+            assert later <= earlier
+
+    def test_methods_agree(self, step_signal):
+        """The paper-faithful scan and the binary-search sweep coincide."""
+        for budget in (0.25, 1.0, 5.0, 50.0):
+            scan = greedy_histogram_for_budget(step_signal, budget, method="scan")
+            search = greedy_histogram_for_budget(step_signal, budget, method="search")
+            assert scan == search
+
+    @given(dense_arrays(min_size=2, max_size=30), st.floats(min_value=0.01, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_methods_agree_property(self, values, budget):
+        scan = greedy_histogram_for_budget(values, budget, method="scan")
+        search = greedy_histogram_for_budget(values, budget, method="search")
+        assert scan == search
+
+    def test_unknown_method(self, step_signal):
+        with pytest.raises(ValueError, match="unknown method"):
+            greedy_histogram_for_budget(step_signal, 1.0, method="bogus")
+
+    def test_max_pieces_early_exit(self, step_signal):
+        tight = greedy_histogram_for_budget(step_signal, 0.01, max_pieces=3)
+        assert tight is None
+        loose = greedy_histogram_for_budget(step_signal, 1e9, max_pieces=3)
+        assert loose is not None
+
+    def test_max_pieces_early_exit_search(self, step_signal):
+        tight = greedy_histogram_for_budget(
+            step_signal, 0.01, max_pieces=3, method="search"
+        )
+        assert tight is None
+
+
+class TestGreedyOptimality:
+    """[JKM+98]: the greedy sweep is piece-optimal for its budget on the
+    dual problem (no b-budget histogram uses fewer maximal buckets)."""
+
+    @given(dense_arrays(min_size=3, max_size=14), st.floats(min_value=0.05, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_no_worse_than_brute_dual(self, values, budget):
+        import itertools
+
+        part = greedy_histogram_for_budget(values, budget)
+        n = values.size
+
+        def feasible(rights):
+            lefts = [0] + [r + 1 for r in rights[:-1]]
+            for a, b in zip(lefts, rights):
+                window = values[a : b + 1]
+                err = float(np.sum((window - window.mean()) ** 2))
+                if err > budget + 1e-12:
+                    return False
+            return True
+
+        best = n
+        for pieces in range(1, part.num_intervals + 1):
+            for cuts in itertools.combinations(range(n - 1), pieces - 1):
+                rights = list(cuts) + [n - 1]
+                if feasible(rights):
+                    best = min(best, pieces)
+                    break
+            if best < n:
+                break
+        assert part.num_intervals == best
+
+
+class TestDualPrimal:
+    def test_respects_k(self, step_signal):
+        result = dual_histogram(step_signal, 3)
+        assert result.num_pieces <= 3
+
+    def test_error_within_constant_of_opt(self, step_signal):
+        opt = v_optimal_histogram(step_signal, 3).error
+        result = dual_histogram(step_signal, 3)
+        # The paper observes ratios up to ~2 in practice.
+        assert result.error <= 3.0 * opt + 1e-9
+
+    def test_zero_error_input(self):
+        clean = np.repeat([2.0, 7.0], 20)
+        result = dual_histogram(clean, 2)
+        assert result.error == pytest.approx(0.0, abs=1e-12)
+        assert result.num_pieces == 2
+
+    def test_search_method_matches_scan_quality(self, step_signal):
+        scan = dual_histogram(step_signal, 3, method="scan")
+        search = dual_histogram(step_signal, 3, method="search")
+        assert scan.error == pytest.approx(search.error, abs=1e-9)
+
+    def test_search_steps_reported(self, step_signal):
+        result = dual_histogram(step_signal, 3)
+        assert 1 <= result.search_steps <= 64
+
+    def test_invalid_k(self, step_signal):
+        with pytest.raises(ValueError, match="k must be"):
+            dual_histogram(step_signal, 0)
+
+    def test_tighter_tolerance_no_worse(self, step_signal):
+        loose = dual_histogram(step_signal, 4, tolerance=1e-1)
+        tight = dual_histogram(step_signal, 4, tolerance=1e-6)
+        assert tight.error <= loose.error + 1e-9
+
+    @given(sparse_functions(max_n=25), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_piece_bound_property(self, q, k):
+        result = dual_histogram(q, k)
+        assert result.num_pieces <= k

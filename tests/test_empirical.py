@@ -1,0 +1,73 @@
+"""Tests for the empirical-distribution stage (repro.sampling.empirical)."""
+
+import numpy as np
+import pytest
+
+from repro import DiscreteDistribution, draw_empirical, empirical_from_samples
+
+
+class TestEmpiricalFromSamples:
+    def test_counts(self):
+        p_hat = empirical_from_samples(np.asarray([1, 1, 3, 1]), n=5)
+        assert p_hat(1) == pytest.approx(0.75)
+        assert p_hat(3) == pytest.approx(0.25)
+        assert p_hat(0) == 0.0
+
+    def test_mass_is_one(self, rng):
+        samples = rng.integers(0, 50, size=333)
+        p_hat = empirical_from_samples(samples, n=50)
+        assert p_hat.total_mass() == pytest.approx(1.0)
+
+    def test_sparsity_bounded_by_m_and_n(self, rng):
+        samples = rng.integers(0, 1000, size=64)
+        p_hat = empirical_from_samples(samples, n=1000)
+        assert p_hat.sparsity <= 64
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            empirical_from_samples(np.asarray([], dtype=np.int64), n=5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, n\)"):
+            empirical_from_samples(np.asarray([5]), n=5)
+        with pytest.raises(ValueError, match=r"\[0, n\)"):
+            empirical_from_samples(np.asarray([-1]), n=5)
+
+    def test_order_irrelevant(self, rng):
+        samples = rng.integers(0, 20, size=100)
+        a = empirical_from_samples(samples, n=20)
+        b = empirical_from_samples(np.sort(samples), n=20)
+        assert a.allclose(b)
+
+
+class TestDrawEmpirical:
+    def test_basic(self, rng):
+        p = DiscreteDistribution.uniform(10)
+        p_hat = draw_empirical(p, 500, rng)
+        assert p_hat.n == 10
+        assert p_hat.total_mass() == pytest.approx(1.0)
+
+    def test_rejects_zero_samples(self, rng):
+        p = DiscreteDistribution.uniform(10)
+        with pytest.raises(ValueError, match="at least one"):
+            draw_empirical(p, 0, rng)
+
+    def test_lemma_3_1_concentration(self, rng):
+        """E||p_hat_m - p||_2 < 1/sqrt(m) (Lemma 3.1 proof).
+
+        The Monte-Carlo mean sits just below the envelope; allow 3% noise.
+        """
+        p = DiscreteDistribution.from_nonnegative(
+            np.random.default_rng(0).random(200) + 0.1
+        )
+        m = 4000
+        errors = [p.l2_to(draw_empirical(p, m, rng)) for _ in range(40)]
+        assert float(np.mean(errors)) <= 1.03 / np.sqrt(m)
+
+    def test_error_decreases_with_m(self, rng):
+        p = DiscreteDistribution.from_nonnegative(
+            np.random.default_rng(1).random(100) + 0.1
+        )
+        small = np.mean([p.l2_to(draw_empirical(p, 200, rng)) for _ in range(10)])
+        large = np.mean([p.l2_to(draw_empirical(p, 20000, rng)) for _ in range(10)])
+        assert large < small / 2.0

@@ -1,0 +1,135 @@
+"""Tests for the exact V-optimal DP baseline (repro.baselines.exact_dp)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    SparseFunction,
+    brute_force_optimal,
+    opt_k,
+    v_optimal_histogram,
+)
+
+from conftest import dense_arrays
+
+
+class TestSmallExactness:
+    def test_exact_on_clean_steps(self):
+        clean = np.concatenate((np.full(10, 1.0), np.full(10, 5.0)))
+        result = v_optimal_histogram(clean, 2)
+        assert result.error == pytest.approx(0.0, abs=1e-9)
+        assert result.histogram.pieces() == [(0, 9, 1.0), (10, 19, 5.0)]
+
+    def test_k_one_is_global_mean(self):
+        values = np.asarray([1.0, 2.0, 3.0, 10.0])
+        result = v_optimal_histogram(values, 1)
+        assert result.histogram(0) == pytest.approx(4.0)
+        expected = float(np.sum((values - 4.0) ** 2))
+        assert result.error_sq == pytest.approx(expected)
+
+    def test_k_equals_n_zero_error(self):
+        values = np.asarray([3.0, 1.0, 4.0, 1.0, 5.0])
+        result = v_optimal_histogram(values, 5)
+        assert result.error == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_larger_than_n_clamped(self):
+        values = np.asarray([1.0, 2.0])
+        result = v_optimal_histogram(values, 10)
+        assert result.error == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            v_optimal_histogram(np.asarray([1.0]), 0)
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError, match="block"):
+            v_optimal_histogram(np.asarray([1.0, 2.0]), 1, block=0)
+
+    def test_accepts_sparse_input(self, sparse_signal):
+        result = v_optimal_histogram(sparse_signal, 3)
+        assert result.histogram.n == sparse_signal.n
+
+    def test_pieces_at_most_k(self, step_signal):
+        for k in (1, 2, 3, 5):
+            result = v_optimal_histogram(step_signal, k)
+            assert result.num_pieces <= k
+
+    def test_non_monge_counterexample(self):
+        """The input that breaks divide-and-conquer DP shortcuts; the
+        exhaustive DP must still find the optimum (see module docstring)."""
+        values = np.asarray([5.0, 0.0, 0.0, 6.0, 0.0])
+        result = v_optimal_histogram(values, 2)
+        assert result.error_sq == pytest.approx(27.0)
+
+
+class TestAgainstBruteForce:
+    @given(dense_arrays(min_size=2, max_size=12), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_dp_matches_brute_force(self, values, k):
+        dp = v_optimal_histogram(values, k)
+        brute = brute_force_optimal(values, k)
+        assert dp.error_sq == pytest.approx(brute.error_sq, abs=1e-7)
+
+    @given(
+        dense_arrays(min_size=2, max_size=12),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_block_size_does_not_change_result(self, values, k, block):
+        blocked = v_optimal_histogram(values, k, block=block)
+        default = v_optimal_histogram(values, k)
+        assert blocked.error_sq == pytest.approx(default.error_sq, abs=1e-9)
+
+    def test_brute_force_rejects_large_input(self):
+        with pytest.raises(ValueError, match="n <= 20"):
+            brute_force_optimal(np.zeros(25), 2)
+
+
+class TestStructuredInputs:
+    def test_medium_noisy_steps(self, rng):
+        clean = np.repeat(rng.normal(0.0, 3.0, 8), 25)
+        noisy = clean + rng.normal(0.0, 0.2, clean.size)
+        result = v_optimal_histogram(noisy, 8)
+        # With k equal to the number of true pieces, the error is close to
+        # the noise norm within each true piece.
+        flat = np.concatenate(
+            [seg - seg.mean() for seg in np.split(noisy, 8)]
+        )
+        assert result.error <= float(np.linalg.norm(flat)) + 1e-9
+
+    def test_monotone_in_k(self, step_signal):
+        errors = [v_optimal_histogram(step_signal, k).error for k in range(1, 8)]
+        for a, b in zip(errors, errors[1:]):
+            assert b <= a + 1e-9
+
+    def test_block_smaller_than_n(self, step_signal):
+        small = v_optimal_histogram(step_signal, 4, block=7)
+        large = v_optimal_histogram(step_signal, 4, block=10000)
+        assert small.error_sq == pytest.approx(large.error_sq, abs=1e-9)
+
+
+class TestHistogramOutput:
+    def test_histogram_error_matches_reported(self, step_signal):
+        result = v_optimal_histogram(step_signal, 3)
+        assert result.histogram.l2_to_dense(step_signal) == pytest.approx(
+            result.error, abs=1e-8
+        )
+
+    def test_values_are_interval_means(self, step_signal):
+        result = v_optimal_histogram(step_signal, 3)
+        for a, b, v in result.histogram.pieces():
+            assert v == pytest.approx(step_signal[a : b + 1].mean())
+
+
+class TestOptK:
+    def test_matches_dp(self, step_signal):
+        assert opt_k(step_signal, 3) == pytest.approx(
+            v_optimal_histogram(step_signal, 3).error
+        )
+
+    def test_opt_k_of_exact_histogram_is_zero(self):
+        values = np.repeat([1.0, 4.0, 2.0], 10)
+        assert opt_k(values, 3) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,68 @@
+"""Smoke tests: the example scripts run end to end and print sane output.
+
+The slow examples (those invoking the quadratic exact DP on large inputs)
+are exercised with reduced settings elsewhere; here we run the fast ones as
+real subprocesses so import paths, prints, and seeds are covered exactly as
+a user would hit them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self):
+        out = run_example("quickstart.py")
+        assert "merging:" in out
+        assert "exact DP:" in out
+        assert "true breakpoints" in out
+
+    def test_recovers_structure(self):
+        out = run_example("quickstart.py")
+        # The approximation ratio printed must be close to 1.
+        ratio_line = next(l for l in out.splitlines() if "approximation ratio" in l)
+        ratio = float(ratio_line.split(":")[1])
+        assert 0.9 <= ratio <= 1.2
+
+
+class TestPiecewisePolyExample:
+    def test_runs_and_degree_helps(self):
+        out = run_example("piecewise_poly_fit.py")
+        assert "err vs truth" in out
+        # Parse the per-degree table: degree 5 must beat degree 0 vs truth.
+        rows = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if len(parts) == 5 and parts[0].isdigit():
+                rows[int(parts[0])] = float(parts[4])
+        assert rows[5] < rows[0]
+
+
+class TestMultiscaleExample:
+    def test_runs_and_reports_pareto(self):
+        out = run_example("multiscale_pareto.py")
+        assert "Pareto curve" in out
+        assert "hierarchy has" in out
+
+
+class TestLearnFromSamplesExample:
+    @pytest.mark.slow
+    def test_runs(self):
+        out = run_example("learn_from_samples.py", timeout=400)
+        assert "valid = True" in out

@@ -1,0 +1,209 @@
+"""Tests for the experiment harness (repro.experiments) on reduced workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import normalize_to_distribution
+from repro.experiments import ablation, figure1, figure2, lower_bound, pareto, poly, scaling, table1
+from repro.experiments.reporting import format_table, rows_to_csv_string, timeit_best, write_csv
+
+
+@pytest.fixture(scope="module")
+def tiny_offline():
+    """Miniature offline datasets so harness tests stay fast."""
+    rng = np.random.default_rng(0)
+    hist = np.repeat(rng.normal(5.0, 2.0, 5), 40) + rng.normal(0, 0.3, 200)
+    walk = np.abs(np.cumsum(rng.normal(0, 1.0, 300)) + 50.0)
+    return {"mini-hist": (hist, 5), "mini-walk": (walk, 8)}
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "x"), [("a", 1.5), ("bb", 10.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in text and "10.250" in text
+
+    def test_format_table_title(self):
+        text = format_table(("c",), [("v",)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ("a", "b"), [(1, 2), (3, 4)])
+        assert path.read_text().splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_rows_to_csv_string(self):
+        text = rows_to_csv_string(("a",), [(1,)])
+        assert text.splitlines() == ["a", "1"]
+
+    def test_timeit_best_positive(self):
+        assert timeit_best(lambda: sum(range(100)), repeats=2) > 0.0
+
+
+class TestTable1:
+    def test_cells_complete(self, tiny_offline):
+        cells = table1.run_table1(
+            algorithms=("exactdp", "merging", "dual"),
+            datasets=tiny_offline,
+            repeats=1,
+        )
+        assert len(cells) == 2 * 3
+        for cell in cells:
+            assert cell.time_ms > 0.0
+            assert cell.error >= 0.0
+            assert cell.rel_time is None  # no fastmerging2 in this run
+
+    def test_relative_error_normalization(self, tiny_offline):
+        cells = table1.run_table1(
+            algorithms=("exactdp", "merging2"), datasets=tiny_offline, repeats=1
+        )
+        exact = [c for c in cells if c.algorithm == "exactdp"]
+        assert all(c.rel_error == pytest.approx(1.0) for c in exact)
+        others = [c for c in cells if c.algorithm != "exactdp"]
+        assert all(c.rel_error >= 0.99 for c in others)
+
+    def test_merging_beats_dual_error(self, tiny_offline):
+        cells = table1.run_table1(
+            algorithms=("merging", "dual"), datasets=tiny_offline, repeats=1
+        )
+        for ds in tiny_offline:
+            merge_err = next(
+                c.error for c in cells if c.dataset == ds and c.algorithm == "merging"
+            )
+            dual_err = next(
+                c.error for c in cells if c.dataset == ds and c.algorithm == "dual"
+            )
+            assert merge_err <= dual_err + 1e-9
+
+    def test_format_output(self, tiny_offline):
+        cells = table1.run_table1(
+            algorithms=("merging",), datasets=tiny_offline, repeats=1
+        )
+        text = table1.format_table1(cells)
+        assert "== mini-hist ==" in text
+        assert "merging" in text
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            table1.run_algorithm("bogus", np.zeros(10), 2)
+
+
+class TestFigure1:
+    def test_summary(self):
+        values = np.arange(10, dtype=np.float64)
+        stats = figure1.dataset_summary(values)
+        assert stats["n"] == 10
+        assert stats["min"] == 0.0 and stats["max"] == 9.0
+
+    def test_ascii_sketch_shape(self):
+        sketch = figure1.ascii_sketch(np.sin(np.arange(300) / 20.0), width=40, height=8)
+        lines = sketch.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 40 for line in lines)
+
+    def test_ascii_sketch_constant_input(self):
+        sketch = figure1.ascii_sketch(np.full(100, 3.0), width=10, height=4)
+        assert len(sketch.splitlines()) == 4
+
+
+class TestFigure2:
+    def test_points_and_floor(self):
+        rng = np.random.default_rng(0)
+        p = normalize_to_distribution(np.repeat(rng.random(5) + 0.2, 30))
+        points = figure2.run_figure2(
+            algorithms=("merging", "merging2"),
+            sample_sizes=(200, 800),
+            trials=3,
+            datasets={"mini": (p, 5)},
+        )
+        assert len(points) == 2 * 2
+        for pt in points:
+            assert pt.mean_error > 0.0
+            assert pt.std_error >= 0.0
+            assert pt.opt_k >= 0.0
+
+    def test_error_improves_with_samples(self):
+        rng = np.random.default_rng(1)
+        p = normalize_to_distribution(np.repeat(rng.random(5) + 0.2, 30))
+        points = figure2.run_figure2(
+            algorithms=("merging",),
+            sample_sizes=(100, 10000),
+            trials=5,
+            datasets={"mini": (p, 5)},
+        )
+        small = next(p_.mean_error for p_ in points if p_.samples == 100)
+        large = next(p_.mean_error for p_ in points if p_.samples == 10000)
+        assert large < small
+
+    def test_learn_once_unknown_algorithm(self):
+        rng = np.random.default_rng(0)
+        p = normalize_to_distribution(np.ones(10))
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            figure2.learn_once("bogus", p, 2, 100, rng)
+
+    def test_format(self):
+        rng = np.random.default_rng(0)
+        p = normalize_to_distribution(np.repeat(rng.random(4) + 0.2, 10))
+        points = figure2.run_figure2(
+            algorithms=("merging",), sample_sizes=(100,), trials=2,
+            datasets={"mini": (p, 2)},
+        )
+        text = figure2.format_figure2(points)
+        assert "mini" in text and "opt_k floor" in text
+
+
+class TestExtensions:
+    def test_scaling_points(self):
+        points = scaling.run_scaling(sizes=(256, 512), k=4, repeats=1)
+        assert {p.algorithm for p in points} == {"merging", "fastmerging"}
+        by_algo = {}
+        for p in points:
+            by_algo.setdefault(p.algorithm, []).append(p)
+        for algo_points in by_algo.values():
+            assert algo_points[0].ratio_to_previous is None
+            assert algo_points[1].ratio_to_previous > 0.0
+        assert "x_per_doubling" in scaling.format_scaling(points)
+
+    def test_ablation_bounds_hold(self):
+        points = ablation.run_ablation(deltas=(0.5, 2.0), gammas=(1.0,), k=5)
+        for p in points:
+            assert p.pieces <= p.piece_bound
+            assert p.error_ratio <= p.worst_case_ratio + 1e-9
+        assert "delta" in ablation.format_ablation(points)
+
+    def test_pareto_guarantees(self):
+        points = pareto.run_pareto(ks=(1, 2, 4))
+        for p in points:
+            assert p.pieces <= p.piece_bound
+            assert p.error_ratio <= 2.0 + 1e-9
+        assert "ratio" in pareto.format_pareto(points)
+
+    def test_pareto_estimate_check(self):
+        rows = pareto.run_estimate_check(m=2000, ks=(5,))
+        assert len(rows) == 3  # one per learning dataset
+        for _, _, _, estimate, truth, gap in rows:
+            assert gap == pytest.approx(abs(estimate - truth))
+
+    def test_poly_quality_degree_helps_truth(self):
+        points = poly.run_poly_quality(degrees=(0, 3), parameter_budget=16, n=600)
+        assert len(points) == 2
+        assert all(p.error > 0.0 for p in points)
+
+    def test_fitpoly_scaling_rows(self):
+        rows = poly.run_fitpoly_scaling(degrees=(1, 2), n=256, repeats=1)
+        assert len(rows) == 2
+
+    def test_lower_bound_upper(self):
+        rows = lower_bound.run_upper_bound(sample_sizes=(100, 400), trials=5)
+        for m, mean_err, exact, envelope in rows:
+            assert exact <= envelope
+            assert mean_err <= 1.3 * envelope
+
+    def test_lower_bound_lower(self):
+        rows = lower_bound.run_lower_bound(
+            eps_values=(0.2,), sample_sizes=(10, 500), trials=500
+        )
+        errs = {m: e for _, m, e, _ in rows}
+        assert errs[500] < errs[10] + 0.05
+        assert errs[500] < 0.05

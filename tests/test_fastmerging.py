@@ -1,0 +1,103 @@
+"""Tests for the fastmerging variant (repro.core.fastmerging)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    brute_force_optimal,
+    construct_fast_histogram,
+    construct_fast_histogram_partition,
+    construct_histogram_partition,
+    target_pieces,
+    v_optimal_histogram,
+)
+from repro.datasets import make_hist_dataset
+
+from conftest import sparse_functions
+
+
+class TestPieceBounds:
+    def test_paper_parameterization(self, step_signal):
+        for k in (1, 2, 5):
+            hist = construct_fast_histogram(step_signal, k, delta=1000.0, gamma=1.0)
+            assert hist.num_pieces <= 2 * k + 1
+
+    def test_piece_bound_general(self, step_signal):
+        for delta in (0.5, 1.0, 4.0):
+            hist = construct_fast_histogram(step_signal, 3, delta=delta, gamma=2.0)
+            assert hist.num_pieces <= target_pieces(3, delta, 2.0)
+
+    @given(sparse_functions(max_n=50), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40)
+    def test_piece_bound_property(self, q, k):
+        result = construct_fast_histogram_partition(q, k, delta=1.0, gamma=1.0)
+        assert result.num_pieces <= target_pieces(k, 1.0, 1.0)
+
+
+class TestQuality:
+    def test_recovers_clean_steps(self):
+        clean = np.concatenate((np.full(64, 1.0), np.full(64, 9.0)))
+        hist = construct_fast_histogram(clean, 2, delta=1.0)
+        assert hist.l2_to_dense(clean) == pytest.approx(0.0, abs=1e-9)
+
+    def test_close_to_exact_on_noisy_data(self, step_signal):
+        opt = v_optimal_histogram(step_signal, 3).error
+        hist = construct_fast_histogram(step_signal, 3, delta=1000.0)
+        # 2k+1 pieces vs k pieces: should land within a modest factor.
+        assert hist.l2_to_dense(step_signal) <= 1.5 * opt
+
+    @given(sparse_functions(max_n=18, max_nonzeros=8))
+    @settings(max_examples=40, deadline=None)
+    def test_error_within_loose_bound(self, q):
+        """The aggressive variant keeps a constant-factor guarantee."""
+        k = 2
+        result = construct_fast_histogram_partition(q, k, delta=1.0, gamma=1.0)
+        achieved = result.histogram.l2_to_sparse(q)
+        opt = brute_force_optimal(q.to_dense(), k).error
+        # Empirically the factor is ~sqrt(2); we assert a loose 3x to keep
+        # the property robust, still far below trivial.
+        assert achieved <= 3.0 * opt + 1e-7
+
+
+class TestRounds:
+    def test_fewer_rounds_than_binary_merging(self):
+        values = make_hist_dataset(n=4000, seed=1)
+        slow = construct_histogram_partition(values, 10, delta=1000.0)
+        fast = construct_fast_histogram_partition(values, 10, delta=1000.0)
+        assert fast.rounds < slow.rounds
+
+    def test_round_count_doubly_logarithmic(self):
+        """O(log log s) rounds for the aggressive schedule (footnote 3)."""
+        values = make_hist_dataset(n=8000, seed=2)
+        result = construct_fast_histogram_partition(values, 10, delta=1000.0)
+        # O(log log s) aggressive rounds plus an O(1) pair-merge tail.
+        loglog = math.ceil(math.log2(max(math.log2(result.initial_intervals), 2)))
+        assert result.rounds <= 2 * loglog + 4
+
+    def test_no_merging_needed(self):
+        values = np.asarray([1.0, 2.0, 3.0])
+        result = construct_fast_histogram_partition(values, 5, delta=1.0)
+        assert result.rounds == 0
+
+
+class TestValidation:
+    def test_invalid_k(self, step_signal):
+        with pytest.raises(ValueError, match="k must be"):
+            construct_fast_histogram(step_signal, 0)
+
+    def test_invalid_delta(self, step_signal):
+        with pytest.raises(ValueError, match="delta"):
+            construct_fast_histogram(step_signal, 2, delta=-0.5)
+
+    def test_invalid_gamma(self, step_signal):
+        with pytest.raises(ValueError, match="gamma"):
+            construct_fast_histogram(step_signal, 2, gamma=0.0)
+
+    def test_histogram_is_flattening(self, step_signal):
+        result = construct_fast_histogram_partition(step_signal, 3, delta=1.0)
+        for (a, b), v in zip(result.partition, result.histogram.values):
+            assert v == pytest.approx(step_signal[a : b + 1].mean())

@@ -1,0 +1,152 @@
+"""Tests for the FitPoly projection oracle (Theorem 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SparseFunction, fit_polynomial
+
+from conftest import sparse_functions
+
+
+def lstsq_reference(dense: np.ndarray, a: int, b: int, degree: int):
+    """Reference projection via numpy least squares on the dense window."""
+    window = dense[a : b + 1]
+    x = np.arange(window.size, dtype=np.float64)
+    deg = min(degree, window.size - 1)
+    design = np.vander(x, deg + 1, increasing=True)
+    coeffs, _, _, _ = np.linalg.lstsq(design, window, rcond=None)
+    fitted = design @ coeffs
+    return fitted, float(np.sum((window - fitted) ** 2))
+
+
+class TestProjectionCorrectness:
+    def test_degree_zero_is_mean(self):
+        dense = np.asarray([1.0, 2.0, 3.0, 6.0])
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, 0, 3, 0)
+        np.testing.assert_allclose(fit.to_dense(), np.full(4, 3.0))
+        assert fit.error_sq == pytest.approx(float(np.sum((dense - 3.0) ** 2)))
+
+    def test_exact_linear_data(self):
+        dense = 2.0 * np.arange(10) + 1.0
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, 0, 9, 1)
+        assert fit.error_sq == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(fit.to_dense(), dense, atol=1e-9)
+
+    def test_exact_quadratic_data(self):
+        x = np.arange(20, dtype=np.float64)
+        dense = 0.5 * x * x - 3.0 * x + 2.0
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, 0, 19, 2)
+        assert fit.error_sq == pytest.approx(0.0, abs=1e-8)
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3, 5])
+    def test_matches_lstsq_full_interval(self, degree, rng):
+        dense = rng.normal(0.0, 1.0, 50)
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, 0, 49, degree)
+        expected_values, expected_err = lstsq_reference(dense, 0, 49, degree)
+        np.testing.assert_allclose(fit.to_dense(), expected_values, atol=1e-7)
+        assert fit.error_sq == pytest.approx(expected_err, abs=1e-7)
+
+    @pytest.mark.parametrize("a,b", [(5, 30), (0, 10), (40, 49), (17, 17)])
+    def test_matches_lstsq_subinterval(self, a, b, rng):
+        dense = rng.normal(0.0, 1.0, 50)
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, a, b, 2)
+        expected_values, expected_err = lstsq_reference(dense, a, b, 2)
+        np.testing.assert_allclose(fit.to_dense(), expected_values, atol=1e-7)
+        assert fit.error_sq == pytest.approx(expected_err, abs=1e-7)
+
+    @given(sparse_functions(max_n=40), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_lstsq_property(self, q, degree):
+        fit = fit_polynomial(q, 0, q.n - 1, degree)
+        expected_values, expected_err = lstsq_reference(q.to_dense(), 0, q.n - 1, degree)
+        np.testing.assert_allclose(fit.to_dense(), expected_values, atol=1e-6)
+        assert fit.error_sq == pytest.approx(expected_err, abs=1e-6)
+
+
+class TestSparsityHandling:
+    def test_zero_gaps_count_toward_projection(self):
+        """Zeros are data points, not missing values."""
+        q = SparseFunction(5, [0], [5.0])
+        fit = fit_polynomial(q, 0, 4, 0)
+        assert fit.coefficients[0] * np.sqrt(5) == pytest.approx(5.0)
+        # Mean of (5, 0, 0, 0, 0) = 1.
+        assert fit.evaluate(2) == pytest.approx(1.0)
+
+    def test_empty_interval_zero_fit(self):
+        q = SparseFunction(10, [0], [1.0])
+        fit = fit_polynomial(q, 3, 8, 2)
+        assert fit.error_sq == 0.0
+        np.testing.assert_allclose(fit.to_dense(), np.zeros(6))
+
+    def test_interval_with_one_nonzero(self):
+        q = SparseFunction(10, [5], [4.0])
+        fit = fit_polynomial(q, 4, 6, 1)
+        _, expected_err = lstsq_reference(q.to_dense(), 4, 6, 1)
+        assert fit.error_sq == pytest.approx(expected_err, abs=1e-9)
+
+
+class TestDegreeClamping:
+    def test_degree_clamped_to_interval_size(self):
+        q = SparseFunction.from_dense(np.asarray([1.0, 7.0]))
+        fit = fit_polynomial(q, 0, 1, 5)
+        assert fit.degree == 1
+        assert fit.error_sq == pytest.approx(0.0, abs=1e-10)
+
+    def test_single_point_interval(self):
+        q = SparseFunction.from_dense(np.asarray([1.0, 7.0, 3.0]))
+        fit = fit_polynomial(q, 1, 1, 3)
+        assert fit.degree == 0
+        assert fit.evaluate(1) == pytest.approx(7.0)
+        assert fit.error_sq == pytest.approx(0.0, abs=1e-12)
+
+
+class TestValidation:
+    def test_invalid_interval(self, sparse_signal):
+        with pytest.raises(ValueError):
+            fit_polynomial(sparse_signal, 5, 3, 1)
+        with pytest.raises(ValueError):
+            fit_polynomial(sparse_signal, 0, 50, 1)
+
+    def test_invalid_degree(self, sparse_signal):
+        with pytest.raises(ValueError, match="degree"):
+            fit_polynomial(sparse_signal, 0, 5, -1)
+
+
+class TestFitObject:
+    def test_evaluate_scalar_and_vector(self):
+        q = SparseFunction.from_dense(np.arange(10, dtype=np.float64))
+        fit = fit_polynomial(q, 0, 9, 1)
+        assert fit.evaluate(3) == pytest.approx(3.0)
+        np.testing.assert_allclose(
+            fit.evaluate(np.asarray([0, 5, 9])), [0.0, 5.0, 9.0], atol=1e-9
+        )
+
+    def test_num_points(self):
+        q = SparseFunction.from_dense(np.arange(10, dtype=np.float64))
+        fit = fit_polynomial(q, 2, 7, 1)
+        assert fit.num_points == 6
+
+    def test_monomial_coefficients(self):
+        x = np.arange(15, dtype=np.float64)
+        dense = 3.0 + 2.0 * x
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, 0, 14, 1)
+        coeffs = fit.monomial_coefficients()
+        np.testing.assert_allclose(coeffs, [3.0, 2.0], atol=1e-8)
+
+    def test_parseval_error_identity(self, rng):
+        """error^2 = ||q||^2 - ||coeffs||^2 (Parseval, Appendix A)."""
+        dense = rng.normal(0.0, 1.0, 30)
+        q = SparseFunction.from_dense(dense)
+        fit = fit_polynomial(q, 0, 29, 4)
+        norm_sq = float(np.sum(dense**2))
+        assert fit.error_sq == pytest.approx(
+            norm_sq - float(np.sum(fit.coefficients**2)), abs=1e-8
+        )

@@ -1,0 +1,118 @@
+"""Tests for the generalized merger (Theorem 4.1) and the Theorem 2.3
+piecewise-polynomial construction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConstantOracle,
+    PolynomialOracle,
+    SparseFunction,
+    construct_general_histogram,
+    construct_histogram_partition,
+    construct_piecewise_polynomial,
+    target_pieces,
+)
+
+from conftest import sparse_functions
+
+
+class TestReducesToAlgorithm1:
+    @given(sparse_functions(max_n=40), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_oracle_matches_merging(self, q, k):
+        """With the constant oracle, partitions equal Algorithm 1's."""
+        general = construct_general_histogram(q, k, ConstantOracle(q), delta=1.0)
+        plain = construct_histogram_partition(q, k, delta=1.0)
+        assert general.partition == plain.partition
+
+    def test_constant_oracle_values_match(self, step_signal):
+        q = SparseFunction.from_dense(step_signal)
+        general = construct_general_histogram(q, 3, ConstantOracle(q), delta=1.0)
+        plain = construct_histogram_partition(q, 3, delta=1.0)
+        np.testing.assert_allclose(
+            general.function.to_dense(), plain.histogram.to_dense(), atol=1e-9
+        )
+
+
+class TestPieceBounds:
+    @given(
+        sparse_functions(max_n=40),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_4_1_piece_bound(self, q, k, degree):
+        result = construct_general_histogram(
+            q, k, PolynomialOracle(q, degree), delta=1.0, gamma=1.0
+        )
+        assert result.num_pieces <= target_pieces(k, 1.0, 1.0)
+
+    def test_paper_parameterization(self, step_signal):
+        func = construct_piecewise_polynomial(step_signal, 4, 1, delta=1000.0)
+        assert func.num_pieces <= 9  # 2k + 1
+
+
+class TestPolynomialQuality:
+    def test_recovers_clean_piecewise_linear(self):
+        """A noiseless 2-piece linear function is fit exactly."""
+        x = np.arange(50, dtype=np.float64)
+        clean = np.concatenate((2.0 * x[:25] + 1.0, -1.0 * x[:25] + 80.0))
+        func = construct_piecewise_polynomial(clean, 2, 1, delta=1.0)
+        assert func.l2_to_dense(clean) == pytest.approx(0.0, abs=1e-7)
+
+    def test_recovers_clean_quadratic(self):
+        x = np.arange(60, dtype=np.float64)
+        clean = 0.05 * x * x - x + 3.0
+        func = construct_piecewise_polynomial(clean, 1, 2, delta=1.0)
+        assert func.l2_to_dense(clean) == pytest.approx(0.0, abs=1e-7)
+
+    def test_degree_beats_histogram_on_smooth_data(self):
+        """On a ramp, degree-1 pieces beat the same number of flat pieces."""
+        ramp = np.linspace(0.0, 10.0, 200)
+        flat = construct_piecewise_polynomial(ramp, 4, 0, delta=1.0)
+        linear = construct_piecewise_polynomial(ramp, 4, 1, delta=1.0)
+        assert linear.l2_to_dense(ramp) < flat.l2_to_dense(ramp) / 10.0
+
+    def test_theorem_2_3_error_bound_vs_histogram_opt(self, step_signal):
+        """Degree-d error is at most the degree-0 bound: the class is larger."""
+        hist = construct_histogram_partition(step_signal, 3, delta=1.0)
+        func = construct_piecewise_polynomial(step_signal, 3, 2, delta=1.0)
+        assert (
+            func.l2_to_dense(step_signal)
+            <= hist.histogram.l2_to_dense(step_signal) * math.sqrt(2.0) + 1e-9
+        )
+
+
+class TestValidation:
+    def test_rejects_foreign_oracle(self, step_signal, sparse_signal):
+        oracle = ConstantOracle(sparse_signal)
+        q = SparseFunction.from_dense(step_signal)
+        with pytest.raises(ValueError, match="different input"):
+            construct_general_histogram(q, 3, oracle)
+
+    def test_invalid_k(self, sparse_signal):
+        with pytest.raises(ValueError, match="k must be"):
+            construct_general_histogram(sparse_signal, 0, ConstantOracle(sparse_signal))
+
+    def test_invalid_delta(self, sparse_signal):
+        with pytest.raises(ValueError, match="delta"):
+            construct_general_histogram(
+                sparse_signal, 2, ConstantOracle(sparse_signal), delta=0.0
+            )
+
+    def test_invalid_gamma(self, sparse_signal):
+        with pytest.raises(ValueError, match="gamma"):
+            construct_general_histogram(
+                sparse_signal, 2, ConstantOracle(sparse_signal), gamma=0.0
+            )
+
+    def test_diagnostics(self, step_signal):
+        q = SparseFunction.from_dense(step_signal)
+        result = construct_general_histogram(q, 3, PolynomialOracle(q, 1), delta=1.0)
+        assert result.rounds >= 1
+        assert result.initial_intervals >= result.num_pieces

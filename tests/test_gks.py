@@ -1,0 +1,81 @@
+"""Tests for the GKS06-style approximate DP (repro.baselines.gks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import gks_histogram, v_optimal_histogram
+
+from conftest import dense_arrays
+
+
+class TestApproximationGuarantee:
+    def test_exact_on_clean_steps(self):
+        clean = np.concatenate((np.full(20, 1.0), np.full(20, 5.0)))
+        result = gks_histogram(clean, 2, delta=0.5)
+        assert result.error == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("delta", [0.1, 0.5, 1.0])
+    def test_within_one_plus_delta(self, step_signal, delta):
+        opt = v_optimal_histogram(step_signal, 3).error_sq
+        result = gks_histogram(step_signal, 3, delta=delta)
+        assert result.error_sq <= (1.0 + delta) * opt + 1e-9
+
+    @given(dense_arrays(min_size=3, max_size=25), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_guarantee_property(self, values, k):
+        delta = 0.5
+        opt = v_optimal_histogram(values, k).error_sq
+        result = gks_histogram(values, k, delta=delta)
+        assert result.error_sq <= (1.0 + delta) * opt + 1e-7
+
+    def test_smaller_delta_no_worse(self, step_signal):
+        loose = gks_histogram(step_signal, 3, delta=2.0)
+        tight = gks_histogram(step_signal, 3, delta=0.05)
+        assert tight.error_sq <= loose.error_sq + 1e-9
+
+
+class TestOutputShape:
+    def test_pieces_at_most_k(self, step_signal):
+        for k in (1, 2, 3, 6):
+            result = gks_histogram(step_signal, k, delta=0.5)
+            assert result.num_pieces <= k
+
+    def test_k_one(self, step_signal):
+        result = gks_histogram(step_signal, 1)
+        assert result.num_pieces == 1
+        exact = v_optimal_histogram(step_signal, 1)
+        assert result.error_sq == pytest.approx(exact.error_sq)
+
+    def test_reported_error_matches_histogram(self, step_signal):
+        result = gks_histogram(step_signal, 4, delta=0.5)
+        assert result.histogram.l2_to_dense(step_signal) == pytest.approx(
+            result.error, abs=1e-8
+        )
+
+    def test_breakpoint_diagnostics(self, step_signal):
+        result = gks_histogram(step_signal, 4, delta=0.5)
+        assert len(result.breakpoints_per_layer) == 3  # layers 1 .. k-1
+        assert all(b >= 1 for b in result.breakpoints_per_layer)
+
+    def test_compression_actually_compresses(self, rng):
+        """Breakpoint counts should be far below n on smooth inputs."""
+        values = np.cumsum(rng.normal(0.0, 1.0, 2000)) + 100.0
+        result = gks_histogram(values, 5, delta=1.0)
+        assert max(result.breakpoints_per_layer) < 2000 / 2
+
+
+class TestValidation:
+    def test_invalid_k(self, step_signal):
+        with pytest.raises(ValueError, match="k must be"):
+            gks_histogram(step_signal, 0)
+
+    def test_invalid_delta(self, step_signal):
+        with pytest.raises(ValueError, match="delta"):
+            gks_histogram(step_signal, 2, delta=0.0)
+
+    def test_k_clamped_to_n(self):
+        values = np.asarray([1.0, 5.0, 2.0])
+        result = gks_histogram(values, 10, delta=0.5)
+        assert result.error == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,115 @@
+"""Tests for the discrete Chebyshev (Gram) polynomial basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    evaluate_gram_basis,
+    gram_basis_matrix,
+    gram_recurrence_coefficients,
+)
+
+
+class TestRecurrenceCoefficients:
+    def test_small_cases_by_hand(self):
+        # N=2: b_1 = 1*(4-1)/(4*3) = 1/4.
+        np.testing.assert_allclose(gram_recurrence_coefficients(2, 1), [0.25])
+        # N=3: b_1 = (9-1)/12 = 2/3, b_2 = 4*(9-4)/(4*15) = 1/3.
+        np.testing.assert_allclose(
+            gram_recurrence_coefficients(3, 2), [2.0 / 3.0, 1.0 / 3.0]
+        )
+
+    def test_degree_zero_empty(self):
+        assert gram_recurrence_coefficients(5, 0).size == 0
+
+    def test_positive_below_limit(self):
+        b = gram_recurrence_coefficients(20, 19)
+        assert np.all(b > 0.0)
+
+    def test_rejects_degree_at_num_points(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            gram_recurrence_coefficients(5, 5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            gram_recurrence_coefficients(0, 0)
+        with pytest.raises(ValueError):
+            gram_recurrence_coefficients(5, -1)
+
+
+class TestOrthonormality:
+    @pytest.mark.parametrize("num_points,degree", [(2, 1), (5, 3), (30, 8), (200, 12)])
+    def test_basis_is_orthonormal(self, num_points, degree):
+        basis = gram_basis_matrix(num_points, degree)
+        gram = basis @ basis.T
+        np.testing.assert_allclose(gram, np.eye(degree + 1), atol=1e-9)
+
+    def test_orthonormal_at_large_n(self):
+        """The paper's largest interval length: no overflow, still orthonormal."""
+        basis = gram_basis_matrix(16384, 10)
+        gram = basis @ basis.T
+        np.testing.assert_allclose(gram, np.eye(11), atol=1e-8)
+
+    @given(
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=40)
+    def test_orthonormal_property(self, num_points, degree):
+        degree = min(degree, num_points - 1)
+        basis = gram_basis_matrix(num_points, degree)
+        gram = basis @ basis.T
+        np.testing.assert_allclose(gram, np.eye(degree + 1), atol=1e-8)
+
+
+class TestPolynomialStructure:
+    def test_degree_zero_is_constant(self):
+        basis = gram_basis_matrix(9, 0)
+        np.testing.assert_allclose(basis[0], np.full(9, 1.0 / 3.0))
+
+    def test_row_r_is_degree_r_polynomial(self):
+        """Each basis row interpolates exactly as a degree-r polynomial."""
+        num_points, degree = 40, 5
+        basis = gram_basis_matrix(num_points, degree)
+        x = np.arange(num_points, dtype=np.float64)
+        for r in range(degree + 1):
+            coeffs = np.polynomial.polynomial.polyfit(x, basis[r], r)
+            recon = np.polynomial.polynomial.polyval(x, coeffs)
+            np.testing.assert_allclose(recon, basis[r], atol=1e-8)
+            if r >= 1:
+                # Leading coefficient nonzero: genuinely degree r.
+                assert abs(coeffs[r]) > 1e-12
+
+    def test_symmetry_parity(self):
+        """Gram polynomials have the parity of their degree about the centre."""
+        num_points, degree = 11, 4
+        basis = gram_basis_matrix(num_points, degree)
+        flipped = basis[:, ::-1]
+        for r in range(degree + 1):
+            sign = 1.0 if r % 2 == 0 else -1.0
+            np.testing.assert_allclose(basis[r], sign * flipped[r], atol=1e-10)
+
+
+class TestEvaluation:
+    def test_scalar_position(self):
+        out = evaluate_gram_basis(3, 2, 10)
+        assert out.shape == (3, 1)
+
+    def test_matches_matrix(self):
+        basis = gram_basis_matrix(15, 4)
+        sampled = evaluate_gram_basis(np.asarray([0, 7, 14]), 4, 15)
+        np.testing.assert_allclose(sampled, basis[:, [0, 7, 14]])
+
+    def test_off_grid_evaluation(self):
+        """The polynomials extend smoothly between grid points."""
+        left = evaluate_gram_basis(np.asarray([3.0]), 3, 10)
+        right = evaluate_gram_basis(np.asarray([4.0]), 3, 10)
+        mid = evaluate_gram_basis(np.asarray([3.5]), 3, 10)
+        # Degree-1 row is linear: midpoint value is the average.
+        assert mid[1, 0] == pytest.approx((left[1, 0] + right[1, 0]) / 2.0)
+
+    def test_single_point_universe(self):
+        out = evaluate_gram_basis(np.asarray([0]), 0, 1)
+        np.testing.assert_allclose(out, [[1.0]])

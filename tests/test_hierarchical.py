@@ -1,0 +1,117 @@
+"""Tests for Algorithm 2 (repro.core.hierarchical) and Theorem 3.5."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    SparseFunction,
+    brute_force_optimal,
+    construct_hierarchical_histogram,
+    v_optimal_histogram,
+)
+
+from conftest import sparse_functions
+
+
+class TestHierarchyStructure:
+    def test_levels_shrink(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal)
+        sizes = [part.num_intervals for part in result.levels]
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_shrink_factor_roughly_three_quarters(self, step_signal):
+        """Each round keeps s/4 pairs split and merges s/4 pairs: ~3s/4 left."""
+        result = construct_hierarchical_histogram(step_signal)
+        sizes = [part.num_intervals for part in result.levels]
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            if a >= 16:
+                assert b <= int(np.ceil(0.8 * a))
+                assert b >= int(0.7 * a) - 2
+
+    def test_levels_are_nested(self, step_signal):
+        """Every level refines all coarser levels (merging never splits)."""
+        result = construct_hierarchical_histogram(step_signal)
+        for fine, coarse in zip(result.levels, result.levels[1:]):
+            assert fine.refines(coarse)
+
+    def test_terminates_below_min_intervals(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal, min_intervals=8)
+        assert result.levels[-1].num_intervals < 8
+
+    def test_custom_min_intervals(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal, min_intervals=2)
+        assert result.levels[-1].num_intervals == 1
+
+    def test_invalid_min_intervals(self, step_signal):
+        with pytest.raises(ValueError, match="min_intervals"):
+            construct_hierarchical_histogram(step_signal, min_intervals=1)
+
+    def test_level_zero_is_exact(self, sparse_signal):
+        result = construct_hierarchical_histogram(sparse_signal)
+        hist = result.histogram_at_level(0)
+        np.testing.assert_allclose(
+            hist.to_dense(), sparse_signal.to_dense(), atol=1e-12
+        )
+
+    def test_tiny_input(self):
+        q = SparseFunction.from_dense(np.asarray([1.0, 5.0]))
+        result = construct_hierarchical_histogram(q)
+        assert result.num_levels >= 1
+
+
+class TestTheorem35:
+    def test_budget_bound(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal)
+        for k in (1, 2, 4, 8):
+            part = result.level_for_budget(k)
+            assert part.num_intervals <= 8 * k
+
+    def test_error_bound_vs_exact(self, step_signal):
+        """||q_bar - q|| <= 2 opt_k for every k from one run."""
+        result = construct_hierarchical_histogram(step_signal)
+        for k in (1, 2, 3, 5, 8):
+            hist = result.histogram_for_budget(k)
+            opt = v_optimal_histogram(step_signal, k).error
+            assert hist.l2_to_dense(step_signal) <= 2.0 * opt + 1e-9
+
+    @given(sparse_functions(max_n=18, max_nonzeros=8), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_theorem_3_5_property(self, q, k):
+        result = construct_hierarchical_histogram(q)
+        part = result.level_for_budget(k)
+        assert part.num_intervals <= 8 * k
+        hist = result.histogram_for_budget(k)
+        opt = brute_force_optimal(q.to_dense(), k).error
+        assert hist.l2_to_sparse(q) <= 2.0 * opt + 1e-7
+
+    def test_invalid_budget(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal)
+        with pytest.raises(ValueError, match="k must be"):
+            result.level_for_budget(0)
+
+
+class TestAccessors:
+    def test_error_at_level_matches_histogram(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal)
+        for j in range(result.num_levels):
+            via_accessor = result.error_at_level(j)
+            via_histogram = result.histogram_at_level(j).l2_to_dense(step_signal)
+            # Both are exact up to prefix-sum cancellation noise, which can
+            # reach ~1e-5 in the *norm* when the true error is ~0.
+            assert via_accessor == pytest.approx(via_histogram, abs=1e-5)
+
+    def test_pareto_curve_monotone(self, step_signal):
+        """Coarser levels have fewer pieces and no smaller error."""
+        result = construct_hierarchical_histogram(step_signal)
+        curve = result.pareto_curve()
+        pieces = [p for p, _ in curve]
+        errors = [e for _, e in curve]
+        assert pieces == sorted(pieces, reverse=True)
+        for earlier, later in zip(errors, errors[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_pareto_curve_length(self, step_signal):
+        result = construct_hierarchical_histogram(step_signal)
+        assert len(result.pareto_curve()) == result.num_levels

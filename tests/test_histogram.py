@@ -1,0 +1,178 @@
+"""Unit and property tests for repro.core.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Histogram, Partition, PrefixSums, SparseFunction, flatten
+
+from conftest import dense_arrays, sparse_functions
+
+
+@pytest.fixture
+def simple_hist():
+    return Histogram(Partition(10, [3, 6, 9]), [1.0, 5.0, 2.0])
+
+
+class TestConstruction:
+    def test_basic(self, simple_hist):
+        assert simple_hist.n == 10
+        assert simple_hist.num_pieces == 3
+
+    def test_value_count_mismatch(self):
+        with pytest.raises(ValueError, match="one value per interval"):
+            Histogram(Partition(10, [3, 9]), [1.0])
+
+    def test_constant(self):
+        h = Histogram.constant(7, 4.2)
+        assert h.num_pieces == 1
+        assert h(3) == 4.2
+        assert h.total_mass() == pytest.approx(7 * 4.2)
+
+    def test_from_dense_merges_runs(self):
+        h = Histogram.from_dense(np.asarray([1.0, 1.0, 2.0, 2.0, 2.0, 1.0]))
+        assert h.num_pieces == 3
+        assert h.pieces() == [(0, 1, 1.0), (2, 4, 2.0), (5, 5, 1.0)]
+
+    def test_from_dense_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Histogram.from_dense(np.asarray([]))
+
+    @given(dense_arrays(min_size=1, max_size=30))
+    def test_from_dense_round_trip(self, arr):
+        h = Histogram.from_dense(arr)
+        np.testing.assert_array_equal(h.to_dense(), arr)
+
+
+class TestEvaluation:
+    def test_scalar(self, simple_hist):
+        assert simple_hist(0) == 1.0
+        assert simple_hist(3) == 1.0
+        assert simple_hist(4) == 5.0
+        assert simple_hist(9) == 2.0
+
+    def test_vector(self, simple_hist):
+        np.testing.assert_array_equal(
+            simple_hist(np.asarray([0, 4, 7])), [1.0, 5.0, 2.0]
+        )
+
+    def test_to_dense(self, simple_hist):
+        expected = [1.0] * 4 + [5.0] * 3 + [2.0] * 3
+        np.testing.assert_array_equal(simple_hist.to_dense(), expected)
+
+    def test_pieces(self, simple_hist):
+        assert simple_hist.pieces() == [(0, 3, 1.0), (4, 6, 5.0), (7, 9, 2.0)]
+
+
+class TestMassAndDistribution:
+    def test_total_mass(self, simple_hist):
+        assert simple_hist.total_mass() == pytest.approx(4 + 15 + 6)
+
+    def test_is_distribution(self):
+        h = Histogram(Partition(4, [1, 3]), [0.3, 0.2])
+        assert h.is_distribution()
+
+    def test_not_distribution_wrong_mass(self, simple_hist):
+        assert not simple_hist.is_distribution()
+
+    def test_not_distribution_negative(self):
+        h = Histogram(Partition(4, [1, 3]), [0.6, -0.1])
+        assert not h.is_distribution()
+
+    def test_normalized(self, simple_hist):
+        normed = simple_hist.normalized()
+        assert normed.total_mass() == pytest.approx(1.0)
+
+    def test_normalize_zero_mass_raises(self):
+        h = Histogram.constant(4, 0.0)
+        with pytest.raises(ValueError, match="zero-mass"):
+            h.normalized()
+
+    def test_clipped_nonnegative(self):
+        h = Histogram(Partition(4, [1, 3]), [-1.0, 2.0])
+        clipped = h.clipped_nonnegative()
+        assert clipped(0) == 0.0
+        assert clipped(2) == 2.0
+
+
+class TestL2Geometry:
+    def test_dense_distance(self, simple_hist):
+        target = simple_hist.to_dense()
+        assert simple_hist.l2_to_dense(target) == 0.0
+        target[0] += 3.0
+        assert simple_hist.l2_to_dense(target) == pytest.approx(3.0)
+
+    def test_sparse_distance_matches_dense(self, simple_hist, sparse_signal):
+        q10 = SparseFunction(10, [2, 7], [1.5, -0.5])
+        via_sparse = simple_hist.l2_sq_to_sparse(q10)
+        via_dense = simple_hist.l2_sq_to_dense(q10.to_dense())
+        assert via_sparse == pytest.approx(via_dense)
+
+    def test_histogram_distance_matches_dense(self, simple_hist):
+        other = Histogram(Partition(10, [4, 9]), [2.0, 3.0])
+        exact = simple_hist.l2_sq_to_histogram(other)
+        dense = float(np.sum((simple_hist.to_dense() - other.to_dense()) ** 2))
+        assert exact == pytest.approx(dense)
+
+    def test_histogram_distance_to_self_zero(self, simple_hist):
+        assert simple_hist.l2_to_histogram(simple_hist) == 0.0
+
+    def test_size_mismatch_raises(self, simple_hist):
+        with pytest.raises(ValueError, match="universe"):
+            simple_hist.l2_to_dense(np.zeros(5))
+        with pytest.raises(ValueError, match="universe"):
+            simple_hist.l2_sq_to_sparse(SparseFunction(5, [], []))
+        with pytest.raises(ValueError, match="universe"):
+            simple_hist.l2_sq_to_histogram(Histogram.constant(5, 1.0))
+
+    @given(sparse_functions())
+    def test_sparse_vs_dense_distance_property(self, q):
+        part = Partition.from_boundaries(q.n, [q.n // 3, (2 * q.n) // 3])
+        values = np.linspace(-1.0, 1.0, part.num_intervals)
+        h = Histogram(part, values)
+        assert h.l2_sq_to_sparse(q) == pytest.approx(
+            h.l2_sq_to_dense(q.to_dense()), abs=1e-8
+        )
+
+
+class TestFlattening:
+    def test_flatten_means(self):
+        q = SparseFunction.from_dense(np.asarray([1.0, 3.0, 10.0, 10.0]))
+        part = Partition(4, [1, 3])
+        h = flatten(q, part)
+        assert h(0) == pytest.approx(2.0)
+        assert h(2) == pytest.approx(10.0)
+
+    def test_flatten_preserves_mass(self):
+        rng = np.random.default_rng(1)
+        dense = rng.random(40)
+        q = SparseFunction.from_dense(dense)
+        part = Partition.from_boundaries(40, [7, 19, 30])
+        h = flatten(q, part)
+        assert h.total_mass() == pytest.approx(dense.sum())
+
+    def test_flatten_size_mismatch(self):
+        q = SparseFunction(5, [], [])
+        with pytest.raises(ValueError, match="universe"):
+            flatten(q, Partition.trivial(6))
+
+    def test_flatten_with_precomputed_prefix(self, sparse_signal):
+        ps = PrefixSums(sparse_signal)
+        part = Partition.from_boundaries(50, [24])
+        a = flatten(sparse_signal, part, prefix=ps)
+        b = flatten(sparse_signal, part)
+        np.testing.assert_allclose(a.values, b.values)
+
+    @given(sparse_functions(), st.integers(min_value=1, max_value=5))
+    def test_flatten_is_best_piecewise_constant(self, q, pieces):
+        """The flattening minimizes l2 among functions constant on the
+        partition (Definition 3.1)."""
+        cuts = np.linspace(0, q.n - 1, pieces + 1).astype(int)[1:]
+        part = Partition.from_boundaries(q.n, cuts)
+        h = flatten(q, part)
+        base = h.l2_sq_to_sparse(q)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perturbed = Histogram(part, h.values + rng.normal(0, 0.1, h.values.size))
+            assert perturbed.l2_sq_to_sparse(q) >= base - 1e-9

@@ -1,0 +1,105 @@
+"""Tests for the synopsis-query and serialization surface of Histogram."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Histogram, Partition, construct_histogram
+
+from conftest import dense_arrays
+
+
+@pytest.fixture
+def hist():
+    return Histogram(Partition(12, [2, 7, 11]), [1.0, 0.5, 2.0])
+
+
+class TestRangeMass:
+    def test_single_piece(self, hist):
+        assert hist.range_mass(0, 2) == pytest.approx(3.0)
+
+    def test_partial_piece(self, hist):
+        assert hist.range_mass(1, 2) == pytest.approx(2.0)
+
+    def test_spanning_two_pieces(self, hist):
+        assert hist.range_mass(2, 4) == pytest.approx(1.0 + 2 * 0.5)
+
+    def test_spanning_all_pieces(self, hist):
+        assert hist.range_mass(0, 11) == pytest.approx(hist.total_mass())
+
+    def test_inner_pieces_counted(self, hist):
+        # [1, 10]: 2 of piece 0, all of piece 1 (5 x 0.5), 3 of piece 2.
+        assert hist.range_mass(1, 10) == pytest.approx(2.0 + 2.5 + 6.0)
+
+    def test_point_query(self, hist):
+        for i in range(12):
+            assert hist.range_mass(i, i) == pytest.approx(hist(i))
+
+    def test_invalid_range(self, hist):
+        with pytest.raises(ValueError):
+            hist.range_mass(5, 3)
+        with pytest.raises(ValueError):
+            hist.range_mass(0, 12)
+
+    @given(dense_arrays(min_size=2, max_size=30), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dense_sum(self, values, data):
+        h = Histogram.from_dense(values)
+        a = data.draw(st.integers(min_value=0, max_value=values.size - 1))
+        b = data.draw(st.integers(min_value=a, max_value=values.size - 1))
+        assert h.range_mass(a, b) == pytest.approx(float(values[a : b + 1].sum()))
+
+    def test_selectivity_estimation_use_case(self, rng):
+        """A learned histogram answers range queries close to the truth."""
+        pmf = np.repeat(rng.random(10) + 0.2, 50)
+        pmf = pmf / pmf.sum()
+        hist = construct_histogram(pmf, 10, delta=1000.0)
+        for a, b in [(0, 99), (125, 320), (400, 499)]:
+            truth = float(pmf[a : b + 1].sum())
+            assert hist.range_mass(a, b) == pytest.approx(truth, abs=0.02)
+
+
+class TestSerialization:
+    def test_round_trip(self, hist):
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone == hist
+
+    def test_json_compatible(self, hist):
+        payload = json.dumps(hist.to_dict())
+        clone = Histogram.from_dict(json.loads(payload))
+        assert clone == hist
+
+    def test_dict_size_is_linear_in_pieces(self, hist):
+        payload = hist.to_dict()
+        assert len(payload["rights"]) == hist.num_pieces
+        assert len(payload["values"]) == hist.num_pieces
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            Histogram.from_dict({"n": 5, "rights": [3], "values": [1.0]})
+
+    @given(dense_arrays(min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_round_trip_property(self, values):
+        h = Histogram.from_dense(values)
+        assert Histogram.from_dict(h.to_dict()) == h
+
+
+class TestEquality:
+    def test_equal(self, hist):
+        same = Histogram(Partition(12, [2, 7, 11]), [1.0, 0.5, 2.0])
+        assert hist == same
+
+    def test_different_values(self, hist):
+        other = Histogram(Partition(12, [2, 7, 11]), [1.0, 0.5, 2.1])
+        assert hist != other
+
+    def test_different_partition(self, hist):
+        other = Histogram(Partition(12, [3, 7, 11]), [1.0, 0.5, 2.0])
+        assert hist != other
+
+    def test_not_histogram(self, hist):
+        assert hist != 42

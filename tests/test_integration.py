@@ -1,0 +1,126 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscreteDistribution,
+    construct_fast_histogram,
+    construct_hierarchical_histogram,
+    construct_histogram,
+    construct_piecewise_polynomial,
+    draw_empirical,
+    dual_histogram,
+    gks_histogram,
+    learn_histogram,
+    learn_multiscale,
+    make_dow_dataset,
+    make_hist_dataset,
+    make_poly_dataset,
+    normalize_to_distribution,
+    opt_k,
+    v_optimal_histogram,
+)
+
+
+class TestOfflinePipeline:
+    """Table 1 in miniature: all algorithms on one dataset, ordered sanely."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_hist_dataset(n=500, seed=11), 10
+
+    def test_error_ordering(self, workload):
+        values, k = workload
+        exact = v_optimal_histogram(values, k).error
+        merging = construct_histogram(values, k, delta=1000.0).l2_to_dense(values)
+        fast = construct_fast_histogram(values, k, delta=1000.0).l2_to_dense(values)
+        dual = dual_histogram(values, k).error
+        gks = gks_histogram(values, k, delta=0.1).error
+
+        # exactdp <= gks <= (1 + delta) exactdp; merging variants close.
+        assert exact <= merging + 1e-9 or merging <= 1.1 * exact
+        assert exact - 1e-9 <= gks <= np.sqrt(1.1) * exact + 1e-9
+        assert merging <= dual + 1e-9
+        assert fast <= 1.25 * merging
+
+    def test_all_respect_their_piece_budgets(self, workload):
+        values, k = workload
+        assert v_optimal_histogram(values, k).num_pieces <= k
+        assert dual_histogram(values, k).num_pieces <= k
+        assert gks_histogram(values, k).num_pieces <= k
+        assert construct_histogram(values, k, delta=1000.0).num_pieces <= 2 * k + 1
+
+
+class TestLearningPipeline:
+    """Figure 2 in miniature: sample -> learn -> compare with truth."""
+
+    @pytest.fixture(scope="class")
+    def truth(self):
+        return normalize_to_distribution(make_hist_dataset(n=500, seed=21))
+
+    def test_two_stage_learner_converges(self, truth):
+        errors = []
+        for m in (500, 50000):
+            rng = np.random.default_rng(99)
+            learned = learn_histogram(truth, k=10, m=m, rng=rng, merge_delta=1000.0)
+            errors.append(learned.error_to(truth))
+        assert errors[1] < errors[0]
+        # At m = 50000 the error approaches the opt_10 floor.
+        floor = opt_k(truth.pmf, 10)
+        assert errors[1] <= 2.0 * floor + 4.0 / np.sqrt(50000)
+
+    def test_multiscale_consistent_with_single_scale(self, truth):
+        rng = np.random.default_rng(7)
+        p_hat = draw_empirical(truth, 20000, rng)
+        single = construct_histogram(p_hat, 10, delta=1000.0)
+        multi = learn_multiscale(p_hat).histogram_for(10)
+        # Both land within the Theorem bounds of each other.
+        assert truth.l2_to(multi) <= 2.5 * truth.l2_to(single) + 0.01
+
+    def test_universe_size_independence(self):
+        """Padding the universe with zero-mass region must not change the
+        learner's work or meaningfully change its output (the paper's key
+        claim: complexity independent of n)."""
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        base = np.repeat([4.0, 1.0, 6.0, 2.0], 50)
+        small = DiscreteDistribution.from_nonnegative(base)
+        padded = DiscreteDistribution.from_nonnegative(
+            np.concatenate((base, np.zeros(100000)))
+        )
+        learned_small = learn_histogram(small, k=4, m=4000, rng=rng_a)
+        learned_padded = learn_histogram(padded, k=4, m=4000, rng=rng_b)
+        # Same samples (same seed, same effective support) -> identical
+        # empirical sparsity; the learned histograms agree up to the single
+        # trailing piece that absorbs the zero-mass padding.
+        assert learned_padded.empirical.sparsity == learned_small.empirical.sparsity
+        assert learned_small.error_to(small) == pytest.approx(
+            learned_padded.error_to(padded), abs=1e-3
+        )
+
+
+class TestPolynomialPipeline:
+    def test_poly_dataset_favors_polynomials(self):
+        seed = 5
+        values = make_poly_dataset(n=1000, seed=seed)
+        from repro.datasets import underlying_poly
+
+        # The clean signal for seed S is underlying_poly with rng seeded S
+        # (make_poly_dataset draws the polynomial before the noise).
+        clean = underlying_poly(n=1000, rng=np.random.default_rng(seed))
+        hist = construct_histogram(values, 8, delta=1000.0)
+        func = construct_piecewise_polynomial(values, 8, 3, delta=1000.0)
+        assert func.l2_to_dense(clean) < hist.l2_to_dense(clean)
+
+
+class TestHierarchyOnRealData:
+    def test_dow_pareto_is_useful(self):
+        values = make_dow_dataset(n=4096)
+        hierarchy = construct_hierarchical_histogram(values)
+        curve = hierarchy.pareto_curve()
+        # The hierarchy spans from near-exact (level 0 is lossless up to
+        # prefix-sum cancellation noise) to very coarse.
+        assert curve[0][1] == pytest.approx(0.0, abs=1e-2)
+        assert curve[-1][0] < 8
+        assert curve[-1][1] > curve[len(curve) // 2][1]

@@ -1,0 +1,166 @@
+"""Tests for the agnostic learners (repro.sampling.learner)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscreteDistribution,
+    MultiscaleLearner,
+    SparseFunction,
+    draw_empirical,
+    learn_histogram,
+    learn_multiscale,
+    learn_piecewise_polynomial,
+    make_hist_dataset,
+    normalize_to_distribution,
+    opt_k,
+)
+from repro.sampling.learner import resolve_sample_input
+
+
+@pytest.fixture(scope="module")
+def truth() -> DiscreteDistribution:
+    return normalize_to_distribution(make_hist_dataset(n=400, seed=3))
+
+
+class TestResolveSampleInput:
+    def test_passthrough_sparse(self, truth, rng):
+        p_hat = draw_empirical(truth, 100, rng)
+        assert resolve_sample_input(p_hat) is p_hat
+
+    def test_from_distribution_with_m(self, truth, rng):
+        p_hat = resolve_sample_input(truth, m=100, rng=rng)
+        assert p_hat.total_mass() == pytest.approx(1.0)
+
+    def test_from_distribution_with_eps(self, truth, rng):
+        p_hat = resolve_sample_input(truth, eps=0.3, delta=0.5, rng=rng)
+        assert p_hat.n == truth.n
+
+    def test_from_distribution_requires_rng(self, truth):
+        with pytest.raises(ValueError, match="rng"):
+            resolve_sample_input(truth, m=10)
+
+    def test_from_distribution_requires_m_or_eps(self, truth, rng):
+        with pytest.raises(ValueError, match="m or eps"):
+            resolve_sample_input(truth, rng=rng)
+
+    def test_from_raw_samples(self):
+        p_hat = resolve_sample_input(np.asarray([0, 1, 1]), n=4)
+        assert p_hat(1) == pytest.approx(2.0 / 3.0)
+
+    def test_raw_samples_require_n(self):
+        with pytest.raises(ValueError, match="universe size"):
+            resolve_sample_input(np.asarray([0, 1, 1]))
+
+
+class TestLearnHistogram:
+    def test_output_is_distribution(self, truth, rng):
+        learned = learn_histogram(truth, k=10, m=2000, rng=rng)
+        assert learned.histogram.is_distribution()
+
+    def test_piece_bound(self, truth, rng):
+        learned = learn_histogram(truth, k=10, m=2000, rng=rng, merge_delta=1000.0)
+        assert learned.num_pieces <= 21
+
+    def test_error_estimate_close_to_truth(self, truth, rng):
+        m = 20000
+        learned = learn_histogram(truth, k=10, m=m, rng=rng, merge_delta=1000.0)
+        eps_budget = 4.0 / np.sqrt(m)
+        assert abs(learned.empirical_error - learned.error_to(truth)) <= eps_budget
+
+    def test_theorem_2_1_error_bound(self, truth, rng):
+        """||h - p||_2 <= 2 opt_k + eps with eps ~ 1/sqrt(m)."""
+        m = 40000
+        floor = opt_k(truth.pmf, 10)
+        learned = learn_histogram(truth, k=10, m=m, rng=rng, merge_delta=1.0)
+        eps_budget = 4.0 / np.sqrt(m)
+        assert learned.error_to(truth) <= 2.0 * floor + 2.0 * eps_budget
+
+    def test_error_shrinks_with_samples(self, truth):
+        small = np.mean([
+            learn_histogram(truth, k=10, m=300, rng=np.random.default_rng(t)).error_to(truth)
+            for t in range(5)
+        ])
+        large = np.mean([
+            learn_histogram(truth, k=10, m=30000, rng=np.random.default_rng(t)).error_to(truth)
+            for t in range(5)
+        ])
+        assert large < small
+
+    def test_from_raw_samples(self, truth, rng):
+        samples = truth.sample(1500, rng)
+        learned = learn_histogram(samples, k=5, n=truth.n)
+        assert learned.histogram.is_distribution()
+
+    def test_from_prebuilt_empirical(self, truth, rng):
+        p_hat = draw_empirical(truth, 1500, rng)
+        learned = learn_histogram(p_hat, k=5)
+        assert learned.empirical is p_hat
+
+
+class TestMultiscaleLearner:
+    def test_budget_bound_every_k(self, truth, rng):
+        learner = learn_multiscale(truth, m=5000, rng=rng)
+        for k in (1, 2, 5, 10, 25):
+            assert learner.histogram_for(k).num_pieces <= 8 * k
+
+    def test_theorem_2_2_error_bound(self, truth, rng):
+        m = 40000
+        learner = learn_multiscale(truth, m=m, rng=rng)
+        eps_budget = 4.0 / np.sqrt(m)
+        for k in (5, 10):
+            floor = opt_k(truth.pmf, k)
+            err = truth.l2_to(learner.histogram_for(k))
+            assert err <= 2.0 * floor + 2.0 * eps_budget
+
+    def test_error_estimates_track_truth(self, truth, rng):
+        m = 40000
+        learner = learn_multiscale(truth, m=m, rng=rng)
+        eps_budget = 4.0 / np.sqrt(m)
+        for k in (5, 10, 20):
+            estimate = learner.error_estimate_for(k)
+            actual = truth.l2_to(learner.histogram_for(k))
+            assert abs(estimate - actual) <= eps_budget
+
+    def test_one_pass_serves_all_budgets(self, truth, rng):
+        p_hat = draw_empirical(truth, 3000, rng)
+        learner = MultiscaleLearner(p_hat)
+        histograms = [learner.histogram_for(k) for k in (1, 3, 9, 27)]
+        pieces = [h.num_pieces for h in histograms]
+        assert pieces == sorted(pieces)
+
+    def test_pareto_curve_available(self, truth, rng):
+        learner = learn_multiscale(truth, m=2000, rng=rng)
+        curve = learner.pareto_curve()
+        assert len(curve) == learner.hierarchy.num_levels
+
+
+class TestLearnPiecewisePolynomial:
+    def test_piece_bound(self, truth, rng):
+        func = learn_piecewise_polynomial(
+            truth, k=5, degree=2, m=3000, rng=rng, merge_delta=1000.0
+        )
+        assert func.num_pieces <= 11
+
+    def test_degree_recorded(self, truth, rng):
+        func = learn_piecewise_polynomial(truth, k=5, degree=2, m=3000, rng=rng)
+        assert func.degree <= 2
+
+    def test_mass_approximately_one(self, truth, rng):
+        """Polynomial projection also preserves mass exactly (the constant
+        component of each piece integrates the data)."""
+        func = learn_piecewise_polynomial(truth, k=5, degree=1, m=3000, rng=rng)
+        assert func.total_mass() == pytest.approx(1.0, abs=1e-9)
+
+    def test_beats_histogram_on_smooth_truth(self, rng):
+        """On a steep ramp distribution, degree-1 pieces learn better.
+
+        The margin holds once the sampling noise (~1/sqrt(m)) is well below
+        the histogram's approximation floor, hence the large m.
+        """
+        ramp = np.linspace(1.0, 9.0, 300)
+        p = DiscreteDistribution.from_nonnegative(ramp)
+        m = 200000
+        hist = learn_histogram(p, k=4, m=m, rng=rng, merge_delta=1.0)
+        poly = learn_piecewise_polynomial(p, k=4, degree=1, m=m, rng=rng, merge_delta=1.0)
+        assert p.l2_to(poly.to_dense()) < hist.error_to(p)

@@ -1,0 +1,93 @@
+"""Tests for the closed-form LinearOracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    LinearOracle,
+    PolynomialOracle,
+    SparseFunction,
+    construct_general_histogram,
+)
+
+from conftest import sparse_functions
+
+
+class TestAgainstGenericOracle:
+    @given(sparse_functions(max_n=50), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_errors_match_polynomial_oracle(self, q, data):
+        linear = LinearOracle(q)
+        generic = PolynomialOracle(q, 1)
+        a = data.draw(st.integers(min_value=0, max_value=q.n - 1))
+        b = data.draw(st.integers(min_value=a, max_value=q.n - 1))
+        assert linear.error_sq(a, b) == pytest.approx(
+            generic.error_sq(a, b), abs=1e-7
+        )
+
+    @given(sparse_functions(max_n=50), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fits_match_polynomial_oracle(self, q, data):
+        linear = LinearOracle(q)
+        generic = PolynomialOracle(q, 1)
+        a = data.draw(st.integers(min_value=0, max_value=q.n - 1))
+        b = data.draw(st.integers(min_value=a, max_value=q.n - 1))
+        np.testing.assert_allclose(
+            linear.fit(a, b).to_dense(), generic.fit(a, b).to_dense(), atol=1e-7
+        )
+
+    def test_batch_matches_scalar(self, sparse_signal):
+        oracle = LinearOracle(sparse_signal)
+        lefts = np.asarray([0, 5, 20])
+        rights = np.asarray([4, 19, 49])
+        batch = oracle.error_sq_batch(lefts, rights)
+        for i in range(3):
+            assert batch[i] == pytest.approx(
+                oracle.error_sq(int(lefts[i]), int(rights[i]))
+            )
+
+
+class TestExactness:
+    def test_exact_on_linear_data(self):
+        dense = 3.0 * np.arange(30, dtype=np.float64) - 7.0
+        oracle = LinearOracle(SparseFunction.from_dense(dense))
+        assert oracle.error_sq(0, 29) == pytest.approx(0.0, abs=1e-8)
+        fit = oracle.fit(5, 25)
+        np.testing.assert_allclose(fit.to_dense(), dense[5:26], atol=1e-8)
+
+    def test_singleton_interval(self, sparse_signal):
+        oracle = LinearOracle(sparse_signal)
+        assert oracle.error_sq(3, 3) == 0.0
+        fit = oracle.fit(3, 3)
+        assert fit.evaluate(3) == pytest.approx(1.0)
+
+    def test_two_point_interval_exact(self):
+        dense = np.asarray([0.0, 1.0, 5.0, 2.0])
+        oracle = LinearOracle(SparseFunction.from_dense(dense))
+        assert oracle.error_sq(1, 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_window(self):
+        q = SparseFunction(20, [0], [3.0])
+        oracle = LinearOracle(q)
+        assert oracle.error_sq(5, 15) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestInMerging:
+    def test_drives_general_merger(self, step_signal):
+        """Same quality as the generic oracle (partitions can differ only
+        through floating-point tie-breaks in the pair ranking)."""
+        q = SparseFunction.from_dense(step_signal)
+        fast = construct_general_histogram(q, 3, LinearOracle(q), delta=1.0)
+        slow = construct_general_histogram(q, 3, PolynomialOracle(q, 1), delta=1.0)
+        assert fast.num_pieces <= slow.num_pieces + 2
+        fast_err = fast.function.l2_to_dense(step_signal)
+        slow_err = slow.function.l2_to_dense(step_signal)
+        assert fast_err == pytest.approx(slow_err, rel=0.05)
+
+    def test_piecewise_linear_beats_flat_on_ramp(self):
+        ramp = np.linspace(0.0, 10.0, 256)
+        q = SparseFunction.from_dense(ramp)
+        result = construct_general_histogram(q, 4, LinearOracle(q), delta=1.0)
+        assert result.function.l2_to_dense(ramp) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,172 @@
+"""Tests for Algorithm 1 (repro.core.merging) — including the paper's
+approximation guarantee verified against the exact optimum."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    SparseFunction,
+    brute_force_optimal,
+    construct_histogram,
+    construct_histogram_partition,
+    keep_count,
+    target_pieces,
+    v_optimal_histogram,
+)
+
+from conftest import sparse_functions
+
+
+class TestParameters:
+    def test_target_pieces_formula(self):
+        assert target_pieces(10, 1000.0, 1.0) == pytest.approx(21.02)
+        assert target_pieces(5, 1.0, 1.0) == pytest.approx(21.0)
+
+    def test_keep_count_formula(self):
+        assert keep_count(10, 1000.0) == 10
+        assert keep_count(10, 1.0) == 20
+        assert keep_count(1, 0.5) == 3
+
+    def test_keep_count_at_least_one(self):
+        assert keep_count(1, 1e9) == 1
+
+    def test_invalid_k(self, step_signal):
+        with pytest.raises(ValueError, match="k must be"):
+            construct_histogram(step_signal, 0)
+
+    def test_invalid_delta(self, step_signal):
+        with pytest.raises(ValueError, match="delta"):
+            construct_histogram(step_signal, 3, delta=0.0)
+        with pytest.raises(ValueError, match="delta"):
+            construct_histogram(step_signal, 3, delta=-1.0)
+
+    def test_invalid_gamma(self, step_signal):
+        with pytest.raises(ValueError, match="gamma"):
+            construct_histogram(step_signal, 3, gamma=0.5)
+
+
+class TestPieceBounds:
+    def test_paper_parameterization_2k_plus_1(self, step_signal):
+        """delta=1000, gamma=1 -> at most 2k + 1 pieces (paper Section 5)."""
+        for k in (1, 2, 3, 5, 10):
+            hist = construct_histogram(step_signal, k, delta=1000.0, gamma=1.0)
+            assert hist.num_pieces <= 2 * k + 1
+
+    def test_piece_bound_theorem_3_3(self, step_signal):
+        for delta in (0.5, 1.0, 4.0):
+            for gamma in (1.0, 5.0):
+                hist = construct_histogram(step_signal, 3, delta=delta, gamma=gamma)
+                assert hist.num_pieces <= target_pieces(3, delta, gamma)
+
+    @given(sparse_functions(max_n=50), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40)
+    def test_piece_bound_property(self, q, k):
+        result = construct_histogram_partition(q, k, delta=1.0, gamma=1.0)
+        assert result.num_pieces <= target_pieces(k, 1.0, 1.0)
+
+
+class TestApproximationGuarantee:
+    def test_recovers_clean_steps_exactly(self):
+        """On a noiseless k-piece input, error must be ~0."""
+        clean = np.concatenate((np.full(40, 1.0), np.full(30, 6.0), np.full(30, 3.0)))
+        hist = construct_histogram(clean, 3, delta=1.0)
+        assert hist.l2_to_dense(clean) == pytest.approx(0.0, abs=1e-9)
+
+    def test_guarantee_on_noisy_steps(self, step_signal):
+        opt = v_optimal_histogram(step_signal, 3).error
+        for delta in (0.5, 1.0, 2.0):
+            hist = construct_histogram(step_signal, 3, delta=delta)
+            assert hist.l2_to_dense(step_signal) <= math.sqrt(1 + delta) * opt + 1e-9
+
+    @given(sparse_functions(max_n=18, max_nonzeros=8), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_theorem_3_3_error_bound(self, q, k):
+        """||q_bar_I - q||_2 <= sqrt(1 + delta) * opt_k, every input."""
+        delta = 1.0
+        result = construct_histogram_partition(q, k, delta=delta, gamma=1.0)
+        achieved = result.histogram.l2_to_sparse(q)
+        opt = brute_force_optimal(q.to_dense(), k).error
+        assert achieved <= math.sqrt(1 + delta) * opt + 1e-7
+
+    @given(sparse_functions(max_n=18, max_nonzeros=8))
+    @settings(max_examples=40, deadline=None)
+    def test_large_delta_paper_params(self, q):
+        """Even delta=1000 stays within its (loose) theoretical bound."""
+        k = 2
+        result = construct_histogram_partition(q, k, delta=1000.0, gamma=1.0)
+        achieved = result.histogram.l2_to_sparse(q)
+        opt = brute_force_optimal(q.to_dense(), k).error
+        assert achieved <= math.sqrt(1001.0) * opt + 1e-7
+
+
+class TestMechanics:
+    def test_result_diagnostics(self, step_signal):
+        result = construct_histogram_partition(step_signal, 3, delta=1.0)
+        assert result.rounds >= 1
+        assert result.initial_intervals >= result.num_pieces
+        assert result.partition.num_intervals == result.histogram.num_pieces
+
+    def test_rounds_logarithmic(self, step_signal):
+        """Halving rounds: roughly log2(s / k) iterations (Theorem 3.4)."""
+        result = construct_histogram_partition(step_signal, 3, delta=1.0)
+        assert result.rounds <= int(np.ceil(np.log2(result.initial_intervals))) + 1
+
+    def test_histogram_is_flattening(self, step_signal):
+        """Output values are exactly the interval means of the input."""
+        result = construct_histogram_partition(step_signal, 3, delta=1.0)
+        for (a, b), v in zip(result.partition, result.histogram.values):
+            assert v == pytest.approx(step_signal[a : b + 1].mean())
+
+    def test_accepts_sparse_input(self, sparse_signal):
+        hist = construct_histogram(sparse_signal, 2, delta=1.0)
+        assert hist.n == sparse_signal.n
+
+    def test_sparse_and_dense_agree(self, step_signal):
+        dense_hist = construct_histogram(step_signal, 3, delta=1.0)
+        sparse_hist = construct_histogram(
+            SparseFunction.from_dense(step_signal), 3, delta=1.0
+        )
+        assert dense_hist.partition == sparse_hist.partition
+        np.testing.assert_allclose(dense_hist.values, sparse_hist.values)
+
+    def test_small_input_no_merging_needed(self):
+        q = SparseFunction.from_dense(np.asarray([1.0, 2.0]))
+        result = construct_histogram_partition(q, 5, delta=1.0)
+        assert result.rounds == 0
+        np.testing.assert_allclose(result.histogram.to_dense(), [1.0, 2.0])
+
+    def test_all_zero_input(self):
+        q = SparseFunction(100, [], [])
+        hist = construct_histogram(q, 2)
+        assert hist.num_pieces == 1
+        assert hist(50) == 0.0
+
+    def test_k_larger_than_sparsity(self, sparse_signal):
+        hist = construct_histogram(sparse_signal, 40, delta=1.0)
+        # No merging possible below the target: output must be exact.
+        np.testing.assert_allclose(
+            hist.to_dense(), sparse_signal.to_dense(), atol=1e-12
+        )
+
+    def test_deterministic(self, step_signal):
+        a = construct_histogram(step_signal, 3, delta=1.0)
+        b = construct_histogram(step_signal, 3, delta=1.0)
+        assert a.partition == b.partition
+
+    def test_k_equals_one(self, step_signal):
+        hist = construct_histogram(step_signal, 1, delta=1.0)
+        assert hist.num_pieces <= target_pieces(1, 1.0, 1.0)
+
+    def test_merging_keeps_worst_pairs_split(self):
+        """The pair with the dominant merge error survives a round intact."""
+        # One huge jump at position 50, tiny noise elsewhere.
+        values = np.r_[np.zeros(50), np.full(50, 100.0)]
+        hist = construct_histogram(values, 1, delta=1.0, gamma=1.0)
+        # With k=1 the jump must still be represented: error far below the
+        # 1-piece optimum shows the split was preserved.
+        one_piece = v_optimal_histogram(values, 1).error
+        assert hist.l2_to_dense(values) < one_piece / 10.0

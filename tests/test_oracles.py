@@ -1,0 +1,89 @@
+"""Tests for the projection oracles (repro.core.oracles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import ConstantOracle, PolynomialOracle, PrefixSums, SparseFunction
+
+from conftest import sparse_functions
+
+
+class TestConstantOracle:
+    def test_error_matches_prefix(self, sparse_signal):
+        oracle = ConstantOracle(sparse_signal)
+        ps = PrefixSums(sparse_signal)
+        for a, b in [(0, 49), (3, 10), (29, 29)]:
+            assert oracle.error_sq(a, b) == pytest.approx(ps.interval_err(a, b))
+
+    def test_batch_matches_scalar(self, sparse_signal):
+        oracle = ConstantOracle(sparse_signal)
+        lefts = np.asarray([0, 10, 30])
+        rights = np.asarray([9, 29, 49])
+        batch = oracle.error_sq_batch(lefts, rights)
+        for i in range(3):
+            assert batch[i] == pytest.approx(
+                oracle.error_sq(int(lefts[i]), int(rights[i]))
+            )
+
+    def test_fit_is_interval_mean(self, sparse_signal):
+        oracle = ConstantOracle(sparse_signal)
+        fit = oracle.fit(0, 9)
+        dense = sparse_signal.to_dense()
+        assert fit.evaluate(5) == pytest.approx(dense[0:10].mean())
+        assert fit.degree == 0
+
+    def test_fit_error_matches_error_sq(self, sparse_signal):
+        oracle = ConstantOracle(sparse_signal)
+        fit = oracle.fit(3, 29)
+        assert fit.error_sq == pytest.approx(oracle.error_sq(3, 29))
+
+    @given(sparse_functions())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_degree_zero_polynomial_oracle(self, q):
+        """ConstantOracle is PolynomialOracle(0) (Section 4.1)."""
+        const = ConstantOracle(q)
+        poly = PolynomialOracle(q, 0)
+        a, b = 0, q.n - 1
+        assert const.error_sq(a, b) == pytest.approx(poly.error_sq(a, b), abs=1e-8)
+        np.testing.assert_allclose(
+            const.fit(a, b).to_dense(), poly.fit(a, b).to_dense(), atol=1e-8
+        )
+
+
+class TestPolynomialOracle:
+    def test_definition_4_1(self, rng):
+        """The oracle value is the l2 error of the returned fit and is
+        optimal among class members (Definition 4.1)."""
+        dense = rng.normal(0.0, 1.0, 25)
+        q = SparseFunction.from_dense(dense)
+        oracle = PolynomialOracle(q, 2)
+        fit = oracle.fit(0, 24)
+        residual = float(np.sum((fit.to_dense() - dense) ** 2))
+        assert oracle.error_sq(0, 24) == pytest.approx(residual, abs=1e-8)
+        # Any other degree-2 polynomial is no better.
+        x = np.arange(25, dtype=np.float64)
+        for trial in range(3):
+            coeffs = rng.normal(0.0, 0.5, 3)
+            candidate = coeffs[0] + coeffs[1] * x + coeffs[2] * x * x
+            assert float(np.sum((candidate - dense) ** 2)) >= residual - 1e-9
+
+    def test_default_batch_loops(self, rng):
+        dense = rng.normal(0.0, 1.0, 25)
+        q = SparseFunction.from_dense(dense)
+        oracle = PolynomialOracle(q, 1)
+        batch = oracle.error_sq_batch(np.asarray([0, 10]), np.asarray([9, 24]))
+        assert batch.shape == (2,)
+        assert batch[0] == pytest.approx(oracle.error_sq(0, 9))
+        assert batch[1] == pytest.approx(oracle.error_sq(10, 24))
+
+    def test_higher_degree_never_worse(self, rng):
+        dense = rng.normal(0.0, 1.0, 30)
+        q = SparseFunction.from_dense(dense)
+        errors = [PolynomialOracle(q, d).error_sq(0, 29) for d in range(5)]
+        for lower, higher in zip(errors, errors[1:]):
+            assert higher <= lower + 1e-9
+
+    def test_invalid_degree(self, sparse_signal):
+        with pytest.raises(ValueError, match="degree"):
+            PolynomialOracle(sparse_signal, -1)

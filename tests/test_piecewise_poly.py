@@ -1,0 +1,127 @@
+"""Tests for repro.core.piecewise_poly.PiecewisePolynomial."""
+
+import numpy as np
+import pytest
+
+from repro import PiecewisePolynomial, SparseFunction, fit_polynomial
+
+from conftest import sparse_functions
+from hypothesis import given, settings
+
+
+def build_piecewise(dense: np.ndarray, cuts, degree: int) -> PiecewisePolynomial:
+    """Fit each piece of a partition given by `cuts` (right endpoints)."""
+    q = SparseFunction.from_dense(dense)
+    rights = list(cuts) + [dense.size - 1]
+    fits = []
+    left = 0
+    for right in rights:
+        fits.append(fit_polynomial(q, left, right, degree))
+        left = right + 1
+    return PiecewisePolynomial(dense.size, fits)
+
+
+@pytest.fixture
+def pw(rng):
+    dense = rng.normal(0.0, 1.0, 30)
+    return build_piecewise(dense, [9, 19], 2), dense
+
+
+class TestConstruction:
+    def test_valid(self, pw):
+        func, _ = pw
+        assert func.num_pieces == 3
+        assert func.degree == 2
+        assert func.n == 30
+
+    def test_rejects_gap(self, rng):
+        dense = rng.normal(0.0, 1.0, 20)
+        q = SparseFunction.from_dense(dense)
+        fits = [fit_polynomial(q, 0, 5, 1), fit_polynomial(q, 8, 19, 1)]
+        with pytest.raises(ValueError, match="tile"):
+            PiecewisePolynomial(20, fits)
+
+    def test_rejects_short(self, rng):
+        dense = rng.normal(0.0, 1.0, 20)
+        q = SparseFunction.from_dense(dense)
+        fits = [fit_polynomial(q, 0, 5, 1)]
+        with pytest.raises(ValueError, match="end at"):
+            PiecewisePolynomial(20, fits)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PiecewisePolynomial(5, [])
+
+    def test_parameter_count(self, pw):
+        func, _ = pw
+        assert func.parameter_count() == 3 * 3  # three pieces, degree 2 each
+
+    def test_partition_property(self, pw):
+        func, _ = pw
+        assert list(func.partition.rights) == [9, 19, 29]
+
+
+class TestEvaluation:
+    def test_matches_piece_fits(self, pw):
+        func, dense = pw
+        q = SparseFunction.from_dense(dense)
+        direct = fit_polynomial(q, 10, 19, 2)
+        np.testing.assert_allclose(
+            func(np.arange(10, 20)), direct.to_dense(), atol=1e-10
+        )
+
+    def test_scalar(self, pw):
+        func, _ = pw
+        assert isinstance(func(5), float)
+
+    def test_to_dense_matches_call(self, pw):
+        func, _ = pw
+        np.testing.assert_allclose(func.to_dense(), func(np.arange(30)), atol=1e-12)
+
+    def test_out_of_range(self, pw):
+        func, _ = pw
+        with pytest.raises(IndexError):
+            func(30)
+        with pytest.raises(IndexError):
+            func(-1)
+
+
+class TestGeometry:
+    def test_l2_sparse_matches_dense(self, pw):
+        func, dense = pw
+        q = SparseFunction.from_dense(dense)
+        assert func.l2_sq_to_sparse(q) == pytest.approx(
+            func.l2_sq_to_dense(dense), abs=1e-8
+        )
+
+    def test_l2_to_own_projection_uses_residuals(self, pw):
+        """Distance to the input equals the sum of piece residuals."""
+        func, dense = pw
+        q = SparseFunction.from_dense(dense)
+        total_residual = sum(fit.error_sq for fit in func.fits)
+        assert func.l2_sq_to_sparse(q) == pytest.approx(total_residual, abs=1e-8)
+
+    def test_size_mismatch(self, pw):
+        func, _ = pw
+        with pytest.raises(ValueError, match="universe"):
+            func.l2_sq_to_dense(np.zeros(10))
+        with pytest.raises(ValueError, match="universe"):
+            func.l2_sq_to_sparse(SparseFunction(10, [], []))
+
+    def test_total_mass_matches_dense(self, pw):
+        func, _ = pw
+        assert func.total_mass() == pytest.approx(float(func.to_dense().sum()), abs=1e-8)
+
+    @given(sparse_functions(max_n=30))
+    @settings(max_examples=30, deadline=None)
+    def test_l2_property(self, q):
+        dense = q.to_dense()
+        cuts = [q.n // 3] if q.n >= 3 else []
+        func = build_piecewise(dense, [c for c in cuts if c < q.n - 1], 1)
+        assert func.l2_sq_to_sparse(q) == pytest.approx(
+            func.l2_sq_to_dense(dense), abs=1e-6
+        )
+
+    def test_repr(self, pw):
+        func, _ = pw
+        assert "pieces=3" in repr(func)

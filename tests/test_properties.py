@@ -1,0 +1,166 @@
+"""Cross-module property tests: global invariants of the whole library.
+
+These complement the per-module tests with relationships that span several
+components — the kind of invariants a downstream user implicitly relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Partition,
+    PrefixSums,
+    SparseFunction,
+    brute_force_optimal,
+    construct_fast_histogram,
+    construct_hierarchical_histogram,
+    construct_histogram,
+    construct_piecewise_polynomial,
+    dual_histogram,
+    flatten,
+    gks_histogram,
+    v_optimal_histogram,
+)
+
+from conftest import dense_arrays, sparse_functions
+
+
+class TestMassPreservation:
+    """Flattening preserves total mass — the reason learned histograms are
+    automatically probability distributions."""
+
+    @given(sparse_functions(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_merging_preserves_mass(self, q, k):
+        hist = construct_histogram(q, k, delta=1.0)
+        assert hist.total_mass() == pytest.approx(q.total_mass(), abs=1e-8)
+
+    @given(sparse_functions())
+    @settings(max_examples=30, deadline=None)
+    def test_hierarchy_preserves_mass_at_every_level(self, q):
+        result = construct_hierarchical_histogram(q)
+        for j in range(result.num_levels):
+            hist = result.histogram_at_level(j)
+            assert hist.total_mass() == pytest.approx(q.total_mass(), abs=1e-8)
+
+    @given(sparse_functions(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_polynomial_merger_preserves_mass(self, q, k):
+        func = construct_piecewise_polynomial(q, k, 1, delta=1.0)
+        assert func.total_mass() == pytest.approx(q.total_mass(), abs=1e-7)
+
+    @given(sparse_functions(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_dp_preserves_mass(self, q, k):
+        result = v_optimal_histogram(q, k)
+        assert result.histogram.total_mass() == pytest.approx(
+            q.total_mass(), abs=1e-8
+        )
+
+
+class TestOptimalityChain:
+    """Relationships between the algorithms' achieved errors."""
+
+    @given(dense_arrays(min_size=4, max_size=16), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_nobody_beats_brute_force_at_equal_pieces(self, values, k):
+        opt = brute_force_optimal(values, k)
+        dual = dual_histogram(values, k)
+        gks = gks_histogram(values, k, delta=0.5)
+        assert dual.error >= opt.error - 1e-7
+        assert gks.error >= opt.error - 1e-7
+
+    @given(dense_arrays(min_size=4, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_opt_k_is_monotone_in_k(self, values):
+        errors = [
+            brute_force_optimal(values, k).error for k in range(1, min(5, values.size))
+        ]
+        for a, b in zip(errors, errors[1:]):
+            assert b <= a + 1e-9
+
+    @given(dense_arrays(min_size=6, max_size=16), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_more_pieces_never_hurt_merging(self, values, k):
+        small = construct_histogram(values, k, delta=1.0)
+        large = construct_histogram(values, 2 * k, delta=1.0)
+        assert large.l2_to_dense(values) <= small.l2_to_dense(values) + 1e-7
+
+    @given(dense_arrays(min_size=4, max_size=16), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_richer_class_never_hurts(self, values, degree):
+        """Degree-(d+1) piecewise fits are at least as good as degree-d."""
+        lower = construct_piecewise_polynomial(values, 2, degree, delta=1.0)
+        higher = construct_piecewise_polynomial(values, 2, degree + 1, delta=1.0)
+        if lower.partition == higher.partition:
+            assert higher.l2_to_dense(values) <= lower.l2_to_dense(values) + 1e-7
+
+
+class TestScaleInvariance:
+    """Scaling the input scales every algorithm's output linearly."""
+
+    @given(
+        sparse_functions(max_n=30),
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from([0.5, 2.0, 4.0]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merging_is_scale_equivariant(self, q, k, factor):
+        """Scaling by powers of two is exact in floating point, so the pair
+        rankings — and hence the partition — are preserved and the error
+        scales linearly.  (For general factors rounding can flip near-ties
+        in the pair ranking, changing the partition; only the *guarantee*
+        is scale-invariant then.)"""
+        base = construct_histogram(q, k, delta=1.0)
+        scaled = construct_histogram(q.scaled(factor), k, delta=1.0)
+        assert scaled.partition == base.partition
+        assert scaled.l2_to_sparse(q.scaled(factor)) == pytest.approx(
+            factor * base.l2_to_sparse(q), abs=1e-6, rel=1e-6
+        )
+
+    @given(dense_arrays(min_size=3, max_size=14), st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=30, deadline=None)
+    def test_opt_k_is_scale_equivariant(self, values, factor):
+        base = brute_force_optimal(values, 2).error
+        scaled = brute_force_optimal(values * factor, 2).error
+        # abs tolerance covers near-zero optima, where both sides are
+        # dominated by prefix-sum cancellation noise.
+        assert scaled == pytest.approx(factor * base, abs=1e-6, rel=1e-6)
+
+    @given(sparse_functions(max_n=30))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_reduces_to_constant_fit(self, q):
+        """Adding a constant to a dense signal leaves flattening errors
+        unchanged (variance is shift-invariant)."""
+        dense = q.to_dense()
+        shifted = SparseFunction.from_dense(dense + 5.0)
+        part = Partition.from_boundaries(q.n, [q.n // 2])
+        base = flatten(q, part).l2_sq_to_sparse(q)
+        moved = flatten(shifted, part).l2_sq_to_sparse(shifted)
+        assert moved == pytest.approx(base, abs=1e-6)
+
+
+class TestPartitionRefinementError:
+    @given(sparse_functions(max_n=40))
+    @settings(max_examples=30, deadline=None)
+    def test_refining_a_partition_never_increases_error(self, q):
+        ps = PrefixSums(q)
+        coarse = Partition.from_boundaries(q.n, [q.n // 2])
+        fine = Partition.from_boundaries(q.n, [q.n // 4, q.n // 2, (3 * q.n) // 4])
+        coarse_err = float(np.sum(ps.interval_err(coarse.lefts, coarse.rights)))
+        fine_err = float(np.sum(ps.interval_err(fine.lefts, fine.rights)))
+        assert fine_err <= coarse_err + 1e-9
+
+    @given(sparse_functions(max_n=40), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_fast_and_plain_merging_comparable(self, q, k):
+        plain = construct_histogram(q, k, delta=1.0).l2_to_sparse(q)
+        fast = construct_fast_histogram(q, k, delta=1.0).l2_to_sparse(q)
+        opt = brute_force_optimal(q.to_dense(), k).error if q.n <= 20 else None
+        if opt is not None:
+            assert fast <= 3.0 * opt + 1e-7
+            assert plain <= math.sqrt(2.0) * opt + 1e-7

@@ -1,0 +1,205 @@
+"""Unit and property tests for repro.core.sparse.SparseFunction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro import SparseFunction
+
+from conftest import dense_arrays, sparse_functions
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = SparseFunction(10, [1, 5], [2.0, -3.0])
+        assert q.n == 10
+        assert q.sparsity == 2
+
+    def test_empty(self):
+        q = SparseFunction(5, [], [])
+        assert q.sparsity == 0
+        assert q.total_mass() == 0.0
+
+    def test_zero_values_pruned(self):
+        q = SparseFunction(10, [1, 2, 3], [1.0, 0.0, 2.0])
+        assert q.sparsity == 2
+        assert list(q.indices) == [1, 3]
+
+    def test_rejects_nonpositive_universe(self):
+        with pytest.raises(ValueError, match="universe"):
+            SparseFunction(0, [], [])
+
+    def test_rejects_unsorted_indices(self):
+        with pytest.raises(ValueError, match="increasing"):
+            SparseFunction(10, [5, 1], [1.0, 2.0])
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(ValueError, match="increasing"):
+            SparseFunction(10, [5, 5], [1.0, 2.0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, n\)"):
+            SparseFunction(10, [10], [1.0])
+        with pytest.raises(ValueError, match=r"\[0, n\)"):
+            SparseFunction(10, [-1], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            SparseFunction(10, [1, 2], [1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SparseFunction(10, np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestFromDense:
+    def test_round_trip(self):
+        arr = np.asarray([0.0, 1.0, 0.0, -2.5, 0.0])
+        q = SparseFunction.from_dense(arr)
+        assert q.sparsity == 2
+        np.testing.assert_array_equal(q.to_dense(), arr)
+
+    def test_all_zero(self):
+        q = SparseFunction.from_dense(np.zeros(7))
+        assert q.sparsity == 0
+        assert q.n == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SparseFunction.from_dense(np.asarray([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SparseFunction.from_dense(np.zeros((3, 3)))
+
+    @given(dense_arrays())
+    def test_round_trip_property(self, arr):
+        q = SparseFunction.from_dense(arr)
+        np.testing.assert_allclose(q.to_dense(), arr)
+        assert q.sparsity == int(np.count_nonzero(arr))
+
+
+class TestFromPairs:
+    def test_unordered_input(self):
+        q = SparseFunction.from_pairs(10, [(5, 2.0), (1, 1.0)])
+        assert list(q.indices) == [1, 5]
+        assert list(q.values) == [1.0, 2.0]
+
+    def test_duplicates_sum(self):
+        q = SparseFunction.from_pairs(10, [(3, 1.0), (3, 2.5)])
+        assert q.sparsity == 1
+        assert q(3) == pytest.approx(3.5)
+
+    def test_cancelling_duplicates_pruned(self):
+        q = SparseFunction.from_pairs(10, [(3, 1.0), (3, -1.0)])
+        assert q.sparsity == 0
+
+    def test_empty_pairs(self):
+        q = SparseFunction.from_pairs(4, [])
+        assert q.sparsity == 0
+
+
+class TestEvaluation:
+    def test_scalar(self, sparse_signal):
+        assert sparse_signal(3) == 1.0
+        assert sparse_signal(4) == -2.0
+        assert sparse_signal(5) == 0.0
+
+    def test_vector(self, sparse_signal):
+        out = sparse_signal(np.asarray([0, 3, 4, 49]))
+        np.testing.assert_array_equal(out, [0.0, 1.0, -2.0, 0.0])
+
+    def test_last_position(self, sparse_signal):
+        assert sparse_signal(48) == 1.5
+        assert sparse_signal(49) == 0.0
+
+    def test_out_of_range_raises(self, sparse_signal):
+        with pytest.raises(IndexError):
+            sparse_signal(50)
+        with pytest.raises(IndexError):
+            sparse_signal(-1)
+
+    def test_empty_function_evaluates_to_zero(self):
+        q = SparseFunction(5, [], [])
+        assert q(2) == 0.0
+        np.testing.assert_array_equal(q(np.asarray([0, 4])), [0.0, 0.0])
+
+    @given(sparse_functions())
+    def test_matches_dense(self, q):
+        dense = q.to_dense()
+        for i in range(q.n):
+            assert q(i) == dense[i]
+
+
+class TestDerivedQuantities:
+    def test_total_mass(self, sparse_signal):
+        assert sparse_signal.total_mass() == pytest.approx(4.0)
+
+    def test_l2_norm_squared(self, sparse_signal):
+        expected = 1.0 + 4.0 + 0.25 + 9.0 + 2.25
+        assert sparse_signal.l2_norm_squared() == pytest.approx(expected)
+
+    def test_scaled(self, sparse_signal):
+        doubled = sparse_signal.scaled(2.0)
+        assert doubled.total_mass() == pytest.approx(8.0)
+        assert doubled.n == sparse_signal.n
+        # original untouched
+        assert sparse_signal(3) == 1.0
+
+    def test_scaled_by_zero_prunes(self, sparse_signal):
+        zero = sparse_signal.scaled(0.0)
+        assert zero.sparsity == 0
+
+
+class TestRestriction:
+    def test_interior(self, sparse_signal):
+        r = sparse_signal.restricted(4, 29)
+        assert r.sparsity == 3
+        assert r.n == sparse_signal.n
+        assert r(3) == 0.0
+        assert r(4) == -2.0
+        assert r(29) == 3.0
+
+    def test_empty_window(self, sparse_signal):
+        r = sparse_signal.restricted(11, 28)
+        assert r.sparsity == 0
+
+    def test_invalid_interval(self, sparse_signal):
+        with pytest.raises(ValueError):
+            sparse_signal.restricted(5, 3)
+        with pytest.raises(ValueError):
+            sparse_signal.restricted(0, 50)
+
+    @given(sparse_functions())
+    def test_restriction_matches_paper_definition(self, q):
+        """f_I(i) = f(i) inside I and 0 outside (paper Section 2.1)."""
+        a, b = 0, q.n - 1
+        mid_a, mid_b = q.n // 4, max(q.n // 2, q.n // 4)
+        r = q.restricted(mid_a, mid_b)
+        dense, rdense = q.to_dense(), r.to_dense()
+        for i in range(a, b + 1):
+            if mid_a <= i <= mid_b:
+                assert rdense[i] == dense[i]
+            else:
+                assert rdense[i] == 0.0
+
+
+class TestComparison:
+    def test_allclose_self(self, sparse_signal):
+        assert sparse_signal.allclose(sparse_signal)
+
+    def test_allclose_different_n(self, sparse_signal):
+        other = SparseFunction(51, sparse_signal.indices, sparse_signal.values)
+        assert not sparse_signal.allclose(other)
+
+    def test_allclose_perturbed(self, sparse_signal):
+        other = SparseFunction(
+            50, sparse_signal.indices, sparse_signal.values + 1e-15
+        )
+        assert sparse_signal.allclose(other)
+        far = SparseFunction(50, sparse_signal.indices, sparse_signal.values + 0.1)
+        assert not sparse_signal.allclose(far)
+
+    def test_repr(self, sparse_signal):
+        assert "n=50" in repr(sparse_signal)
+        assert "sparsity=5" in repr(sparse_signal)

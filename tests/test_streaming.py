@@ -1,0 +1,114 @@
+"""Tests for the streaming histogram learner."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    StreamingHistogramLearner,
+    empirical_from_samples,
+    make_hist_dataset,
+    normalize_to_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return normalize_to_distribution(make_hist_dataset(n=300, seed=13))
+
+
+class TestIngestion:
+    def test_counts_accumulate(self):
+        learner = StreamingHistogramLearner(n=10, k=2)
+        learner.extend(np.asarray([1, 1, 3]))
+        learner.extend(np.asarray([3, 5]))
+        assert learner.samples_seen == 5
+        assert learner.support_size == 3
+
+    def test_empty_batch_is_noop(self):
+        learner = StreamingHistogramLearner(n=10, k=2)
+        learner.extend(np.asarray([], dtype=np.int64))
+        assert learner.samples_seen == 0
+
+    def test_rejects_out_of_range(self):
+        learner = StreamingHistogramLearner(n=10, k=2)
+        with pytest.raises(ValueError, match=r"\[0, n\)"):
+            learner.extend(np.asarray([10]))
+
+    def test_empirical_matches_batch_construction(self, truth, rng):
+        learner = StreamingHistogramLearner(n=truth.n, k=5)
+        all_samples = []
+        for _ in range(4):
+            batch = truth.sample(250, rng)
+            learner.extend(batch)
+            all_samples.append(batch)
+        reference = empirical_from_samples(np.concatenate(all_samples), truth.n)
+        assert learner.empirical().allclose(reference)
+
+    def test_queries_before_data_raise(self):
+        learner = StreamingHistogramLearner(n=10, k=2)
+        with pytest.raises(ValueError, match="no samples"):
+            learner.empirical()
+        with pytest.raises(ValueError, match="no samples"):
+            learner.histogram()
+
+
+class TestHistogramMaintenance:
+    def test_matches_one_shot_learner_when_fresh(self, truth, rng):
+        from repro.core.merging import construct_histogram_partition
+
+        learner = StreamingHistogramLearner(n=truth.n, k=5)
+        learner.extend(truth.sample(5000, rng))
+        streamed = learner.histogram(force_refresh=True)
+        reference = construct_histogram_partition(
+            learner.empirical(), 5, delta=1000.0, gamma=1.0
+        ).histogram
+        assert streamed == reference
+
+    def test_lazy_refresh_on_doubling(self, truth, rng):
+        learner = StreamingHistogramLearner(n=truth.n, k=5, refresh_factor=2.0)
+        learner.extend(truth.sample(1000, rng))
+        first = learner.histogram()
+        learner.extend(truth.sample(100, rng))  # below the doubling threshold
+        assert learner.histogram() is first
+        learner.extend(truth.sample(2000, rng))  # crosses it
+        assert learner.histogram() is not first
+
+    def test_error_improves_along_stream(self, truth, rng):
+        learner = StreamingHistogramLearner(n=truth.n, k=10)
+        learner.extend(truth.sample(200, rng))
+        early = truth.l2_to(learner.histogram(force_refresh=True))
+        learner.extend(truth.sample(50000, rng))
+        late = truth.l2_to(learner.histogram(force_refresh=True))
+        assert late < early
+
+    def test_piece_budget(self, truth, rng):
+        learner = StreamingHistogramLearner(n=truth.n, k=5)
+        learner.extend(truth.sample(3000, rng))
+        assert learner.histogram().num_pieces <= 11
+
+    def test_output_is_distribution(self, truth, rng):
+        learner = StreamingHistogramLearner(n=truth.n, k=5)
+        learner.extend(truth.sample(3000, rng))
+        assert learner.histogram().is_distribution()
+
+    def test_error_estimate_tracks_truth(self, truth, rng):
+        m = 40000
+        learner = StreamingHistogramLearner(n=truth.n, k=10)
+        learner.extend(truth.sample(m, rng))
+        estimate = learner.error_estimate()
+        actual = truth.l2_to(learner.histogram())
+        assert abs(estimate - actual) <= 4.0 / np.sqrt(m)
+
+
+class TestValidation:
+    def test_bad_universe(self):
+        with pytest.raises(ValueError, match="universe"):
+            StreamingHistogramLearner(n=0, k=2)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            StreamingHistogramLearner(n=10, k=0)
+
+    def test_bad_refresh_factor(self):
+        with pytest.raises(ValueError, match="refresh factor"):
+            StreamingHistogramLearner(n=10, k=2, refresh_factor=1.0)

@@ -1,0 +1,145 @@
+"""Tests for the sample-complexity theory module (repro.sampling.theory)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscreteDistribution,
+    distinguishing_error,
+    draw_empirical,
+    expected_empirical_l2,
+    hellinger_sample_lower_bound,
+    lower_bound_pair,
+    sample_size,
+)
+
+
+class TestSampleSize:
+    def test_scales_inverse_square_eps(self):
+        assert sample_size(0.05, 0.1) == pytest.approx(4 * sample_size(0.1, 0.1), rel=0.01)
+
+    def test_scales_log_inverse_delta(self):
+        base = sample_size(0.01, 0.5)
+        tiny_delta = sample_size(0.01, 1e-6)
+        # log(1/delta) grows: the tail term eventually dominates.
+        assert tiny_delta > base
+        ratio = sample_size(0.01, 1e-12) / sample_size(0.01, 1e-6)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_mean_term_floor(self):
+        # For moderate delta the 16/eps^2 mean term dominates.
+        assert sample_size(0.1, 0.3) == math.ceil(16.0 / 0.01)
+
+    def test_validation(self):
+        for bad_eps in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                sample_size(bad_eps, 0.1)
+        for bad_delta in (0.0, 1.0):
+            with pytest.raises(ValueError):
+                sample_size(0.1, bad_delta)
+
+
+class TestExpectedEmpiricalL2:
+    def test_formula(self):
+        p = DiscreteDistribution(np.asarray([0.5, 0.5]))
+        expected = math.sqrt((0.25 + 0.25) / 100)
+        assert expected_empirical_l2(p, 100) == pytest.approx(expected)
+
+    def test_below_envelope(self):
+        """sqrt(E||.||^2) < 1/sqrt(m) for every p (Lemma 3.1)."""
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            p = DiscreteDistribution.from_nonnegative(rng.random(50) + 0.01)
+            assert expected_empirical_l2(p, 123) < 1.0 / math.sqrt(123)
+
+    def test_point_mass_is_zero(self):
+        pmf = np.zeros(5)
+        pmf[0] = 1.0
+        assert expected_empirical_l2(DiscreteDistribution(pmf), 10) == 0.0
+
+    def test_matches_monte_carlo(self, rng):
+        p = DiscreteDistribution.from_nonnegative(rng.random(30) + 0.05)
+        m = 500
+        sq_errors = [p.l2_to(draw_empirical(p, m, rng)) ** 2 for _ in range(300)]
+        mc = math.sqrt(float(np.mean(sq_errors)))
+        assert mc == pytest.approx(expected_empirical_l2(p, m), rel=0.1)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            expected_empirical_l2(DiscreteDistribution.uniform(3), 0)
+
+
+class TestLowerBoundPair:
+    def test_structure(self):
+        p1, p2 = lower_bound_pair(10, 0.1)
+        assert p1.pmf[0] == pytest.approx(0.6)
+        assert p1.pmf[1] == pytest.approx(0.4)
+        assert p2.pmf[0] == pytest.approx(0.4)
+        assert np.all(p1.pmf[2:] == 0.0)
+
+    def test_l2_distance(self):
+        eps = 0.07
+        p1, p2 = lower_bound_pair(6, eps)
+        assert p1.l2_to(p2) == pytest.approx(2.0 * math.sqrt(2.0) * eps)
+
+    def test_hellinger_bound(self):
+        """h^2 = 1 - sqrt(1 - 4 eps^2) in [2 eps^2, 4 eps^2].
+
+        (The paper's proof states h^2 <= 2 eps^2; the exact value is
+        4 eps^2 / (1 + sqrt(1 - 4 eps^2)) which *lower*-bounds at 2 eps^2 —
+        the Theta(eps^2) scaling the theorem needs is unchanged.)
+        """
+        for eps in (0.05, 0.1, 0.3):
+            p1, p2 = lower_bound_pair(4, eps)
+            h_sq = p1.hellinger_to(p2) ** 2
+            assert 2.0 * eps * eps - 1e-12 <= h_sq <= 4.0 * eps * eps + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_pair(1, 0.1)
+        with pytest.raises(ValueError):
+            lower_bound_pair(5, 0.5)
+
+
+class TestHellingerLowerBound:
+    def test_monotone_in_delta(self):
+        assert hellinger_sample_lower_bound(0.1, 0.001) > hellinger_sample_lower_bound(0.1, 0.1)
+
+    def test_scales_with_eps(self):
+        ratio = hellinger_sample_lower_bound(0.05, 0.1) / hellinger_sample_lower_bound(0.1, 0.1)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hellinger_sample_lower_bound(0.6, 0.1)
+        with pytest.raises(ValueError):
+            hellinger_sample_lower_bound(0.1, 0.7)
+
+
+class TestDistinguishingError:
+    def test_decays_with_m(self, rng):
+        few = distinguishing_error(0.1, 10, 2000, rng)
+        many = distinguishing_error(0.1, 2000, 2000, rng)
+        assert many < few
+        assert many < 0.01
+
+    def test_near_half_when_hopeless(self, rng):
+        err = distinguishing_error(0.01, 2, 4000, rng)
+        assert err > 0.3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            distinguishing_error(0.1, 0, 10, rng)
+        with pytest.raises(ValueError):
+            distinguishing_error(0.1, 10, 0, rng)
+        with pytest.raises(ValueError):
+            distinguishing_error(0.7, 10, 10, rng)
+
+    def test_matches_exponential_decay_shape(self, rng):
+        """Error ~ exp(-Theta(m eps^2)): quadrupling m at half eps keeps
+        the error in the same ballpark."""
+        a = distinguishing_error(0.2, 100, 6000, rng)
+        b = distinguishing_error(0.1, 400, 6000, rng)
+        assert abs(a - b) < 0.05

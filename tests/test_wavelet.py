@@ -1,0 +1,142 @@
+"""Tests for the Haar-wavelet synopsis baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    SparseFunction,
+    construct_histogram,
+    haar_transform,
+    inverse_haar_transform,
+    wavelet_synopsis,
+)
+from repro.baselines.wavelet import _next_power_of_two
+
+from conftest import dense_arrays
+
+
+class TestTransform:
+    def test_round_trip(self, rng):
+        values = rng.normal(0.0, 1.0, 64)
+        recon = inverse_haar_transform(haar_transform(values))
+        np.testing.assert_allclose(recon, values, atol=1e-10)
+
+    def test_isometry(self, rng):
+        """Orthonormality: the transform preserves the l2 norm (Parseval)."""
+        values = rng.normal(0.0, 1.0, 128)
+        coeffs = haar_transform(values)
+        assert float(np.dot(coeffs, coeffs)) == pytest.approx(
+            float(np.dot(values, values))
+        )
+
+    def test_constant_signal_single_coefficient(self):
+        coeffs = haar_transform(np.full(16, 3.0))
+        assert coeffs[0] == pytest.approx(3.0 * 4.0)  # 3 * sqrt(16)
+        np.testing.assert_allclose(coeffs[1:], 0.0, atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            haar_transform(np.zeros(12))
+        with pytest.raises(ValueError, match="power of two"):
+            inverse_haar_transform(np.zeros(12))
+
+    @given(st.integers(min_value=0, max_value=6), st.data())
+    @settings(max_examples=30)
+    def test_round_trip_property(self, log_n, data):
+        n = 1 << log_n
+        values = np.asarray(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=-5, max_value=5, allow_nan=False, width=32),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        recon = inverse_haar_transform(haar_transform(values))
+        np.testing.assert_allclose(recon, values, atol=1e-9)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (1000, 1024), (16384, 16384)])
+    def test_values(self, n, expected):
+        assert _next_power_of_two(n) == expected
+
+
+class TestSynopsis:
+    def test_full_budget_is_lossless(self, rng):
+        values = rng.normal(0.0, 1.0, 32)
+        syn = wavelet_synopsis(values, 32)
+        assert syn.error == pytest.approx(0.0, abs=1e-9)
+        np.testing.assert_allclose(syn.to_dense(), values, atol=1e-9)
+
+    def test_reported_error_is_exact(self, rng):
+        values = rng.normal(0.0, 1.0, 64)
+        syn = wavelet_synopsis(values, 10)
+        assert syn.l2_to_dense(values) == pytest.approx(syn.error, abs=1e-9)
+
+    def test_reported_error_exact_with_padding(self, rng):
+        values = rng.normal(0.0, 1.0, 50)  # padded to 64
+        syn = wavelet_synopsis(values, 10)
+        assert syn.l2_to_dense(values) == pytest.approx(syn.error, abs=1e-9)
+
+    def test_optimality_among_equal_budget_selections(self, rng):
+        """No other coefficient subset of the same size does better."""
+        values = rng.normal(0.0, 1.0, 16)
+        budget = 4
+        syn = wavelet_synopsis(values, budget)
+        coeffs = haar_transform(values)
+        total = float(np.dot(coeffs, coeffs))
+        import itertools
+
+        for subset in itertools.combinations(range(16), budget):
+            kept = coeffs[list(subset)]
+            err_sq = total - float(np.dot(kept, kept))
+            assert syn.error_sq <= err_sq + 1e-9
+
+    def test_error_monotone_in_budget(self, rng):
+        values = rng.normal(0.0, 1.0, 128)
+        errors = [wavelet_synopsis(values, b).error for b in (2, 8, 32, 128)]
+        for a, b in zip(errors, errors[1:]):
+            assert b <= a + 1e-9
+
+    def test_stored_numbers(self, rng):
+        syn = wavelet_synopsis(rng.normal(0.0, 1.0, 64), 7)
+        assert syn.num_terms == 7
+        assert syn.stored_numbers() == 14
+
+    def test_accepts_sparse_input(self, sparse_signal):
+        syn = wavelet_synopsis(sparse_signal, 8)
+        assert syn.n == sparse_signal.n
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="budget"):
+            wavelet_synopsis(np.ones(8), 0)
+        with pytest.raises(ValueError, match="non-empty"):
+            wavelet_synopsis(np.asarray([]), 2)
+
+    @given(dense_arrays(min_size=2, max_size=40), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_error_exactness_property(self, values, budget):
+        syn = wavelet_synopsis(values, budget)
+        assert syn.l2_to_dense(values) == pytest.approx(syn.error, abs=1e-7)
+
+
+class TestVersusHistograms:
+    def test_wavelets_win_on_dyadic_steps(self, rng):
+        """A signal aligned with dyadic blocks is a best case for Haar."""
+        values = np.repeat(rng.normal(0.0, 5.0, 8), 16)  # n=128, 8 dyadic steps
+        syn = wavelet_synopsis(values, 16)
+        hist = construct_histogram(values, 4, delta=1000.0)  # ~9 pieces = 18 numbers
+        assert syn.error <= hist.l2_to_dense(values) + 1e-9
+
+    def test_histograms_win_on_unaligned_steps(self):
+        """A single off-dyadic jump needs many Haar terms but 2 pieces."""
+        values = np.zeros(128)
+        values[43:] = 10.0  # jump at an awkward (non-dyadic) position
+        hist = construct_histogram(values, 2, delta=1.0)
+        syn = wavelet_synopsis(values, 4)  # comparable storage
+        assert hist.l2_to_dense(values) == pytest.approx(0.0, abs=1e-9)
+        assert syn.error > 1.0
