@@ -1,0 +1,105 @@
+"""Benchmark: EXT-serve — batched query throughput of the serving engine.
+
+Measures queries/sec of :class:`repro.serve.engine.QueryEngine` as a
+function of batch size and synopsis family, plus the per-query Python loop
+it replaces.  The batched path answers a batch of B range queries with one
+``searchsorted`` over the piece boundaries (``O(B log k)``), so throughput
+should grow roughly linearly with batch size until memory bandwidth wins;
+the loop baseline pays the Python dispatch price per query and stays flat.
+
+``test_batched_vs_loop`` records the headline speedup (the acceptance
+criterion asks for >= 10x at B = 10k; in practice it is orders of
+magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import QueryEngine
+from repro.serve.store import SynopsisStore
+
+FAMILIES = ("merging", "wavelet", "gks", "poly")
+BATCH_SIZES = (10, 100, 1_000, 10_000, 100_000)
+LOOP_BATCH = 10_000
+K = 16
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """A store with one synopsis per family over the Table 1 datasets' sizes."""
+    rng = np.random.default_rng(7)
+    values = np.abs(rng.normal(1.0, 0.5, 65_536)) + 1e-6
+    store = SynopsisStore()
+    for family in FAMILIES:
+        store.register(family, values, family=family, k=K)
+    eng = QueryEngine(store)
+    for family in FAMILIES:
+        eng.range_sum(family, 0, 1)  # pre-build every prefix table
+    return eng
+
+
+def _random_ranges(n: int, batch: int, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, n, batch)
+    b = rng.integers(0, n, batch)
+    return np.minimum(a, b), np.maximum(a, b)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+def test_batched_range_sum(benchmark, engine, family, batch):
+    n = engine.store[family].result.n
+    a, b = _random_ranges(n, batch)
+    benchmark(lambda: engine.range_sum(family, a, b))
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["qps"] = batch / benchmark.stats["mean"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_batched_quantile(benchmark, engine, family):
+    rng = np.random.default_rng(2)
+    qs = rng.random(LOOP_BATCH)
+    benchmark(lambda: engine.quantile(family, qs))
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["qps"] = LOOP_BATCH / benchmark.stats["mean"]
+
+
+def test_scalar_loop_baseline(benchmark, engine):
+    """The per-query Python loop the batched API replaces (B = 10k)."""
+    n = engine.store["merging"].result.n
+    a, b = _random_ranges(n, LOOP_BATCH)
+
+    def loop():
+        return [
+            engine.range_sum("merging", int(ai), int(bi)) for ai, bi in zip(a, b)
+        ]
+
+    benchmark(loop)
+    benchmark.extra_info["qps"] = LOOP_BATCH / benchmark.stats["mean"]
+
+
+def test_batched_vs_loop(engine):
+    """Acceptance check: batched >= 10x faster than the loop at B = 10k."""
+    import time
+
+    n = engine.store["merging"].result.n
+    a, b = _random_ranges(n, LOOP_BATCH)
+    engine.range_sum("merging", a, b)
+
+    start = time.perf_counter()
+    engine.range_sum("merging", a, b)
+    batched = time.perf_counter() - start
+
+    slice_n = 1_000
+    start = time.perf_counter()
+    for i in range(slice_n):
+        engine.range_sum("merging", int(a[i]), int(b[i]))
+    loop = (time.perf_counter() - start) * (LOOP_BATCH / slice_n)
+
+    speedup = loop / batched
+    print(f"\nbatched={batched * 1e3:.3f}ms loop~={loop * 1e3:.1f}ms "
+          f"speedup={speedup:.0f}x")
+    assert speedup >= 10.0

@@ -47,6 +47,7 @@ from .core import (
     MergingResult,
     Partition,
     PiecewisePolynomial,
+    PiecewisePrefix,
     PolynomialFit,
     PolynomialOracle,
     PrefixSums,
@@ -77,6 +78,15 @@ from .datasets import (
     offline_datasets,
     subsample_uniform,
 )
+from .serve import (
+    SYNOPSIS_FAMILIES,
+    BuildResult,
+    PrefixTable,
+    QueryEngine,
+    SynopsisStore,
+    build_synopsis,
+    synopsis_size,
+)
 from .sampling import (
     DiscreteDistribution,
     LearnedHistogram,
@@ -97,6 +107,7 @@ from .sampling import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuildResult",
     "ConstantOracle",
     "DPResult",
     "DiscreteDistribution",
@@ -111,14 +122,20 @@ __all__ = [
     "MultiscaleLearner",
     "Partition",
     "PiecewisePolynomial",
+    "PiecewisePrefix",
     "PolynomialFit",
     "PolynomialOracle",
     "PrefixSums",
+    "PrefixTable",
     "ProjectionOracle",
+    "QueryEngine",
+    "SYNOPSIS_FAMILIES",
     "SparseFunction",
     "StreamingHistogramLearner",
+    "SynopsisStore",
     "WaveletSynopsis",
     "brute_force_optimal",
+    "build_synopsis",
     "construct_fast_histogram",
     "construct_fast_histogram_partition",
     "construct_general_histogram",
@@ -156,6 +173,7 @@ __all__ = [
     "opt_k",
     "sample_size",
     "subsample_uniform",
+    "synopsis_size",
     "target_pieces",
     "v_optimal_histogram",
     "wavelet_synopsis",

@@ -11,7 +11,12 @@ Experiments:
 * ``poly``        — EXT: piecewise-polynomial quality and FitPoly cost
 * ``lower_bound`` — EXT: sample-complexity upper/lower bound checks
 
-Run ``python -m repro <experiment> --help`` for per-experiment options.
+Serving commands:
+
+* ``query``       — build one synopsis, answer a batch of random queries
+* ``serve``       — register synopses and answer queries from stdin
+
+Run ``python -m repro <command> --help`` for per-command options.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from .experiments import (
     scaling,
     table1,
 )
+from .serve.cli import query_main, serve_main
 
 EXPERIMENTS = {
     "figure1": figure1.main,
@@ -41,6 +47,12 @@ EXPERIMENTS = {
     "lower_bound": lower_bound.main,
 }
 
+COMMANDS = {
+    **EXPERIMENTS,
+    "query": query_main,
+    "serve": serve_main,
+}
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
@@ -48,10 +60,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(__doc__)
         return 0
     name = args[0]
-    if name not in EXPERIMENTS:
-        print(f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}")
+    if name not in COMMANDS:
+        print(f"unknown command {name!r}; available: {', '.join(COMMANDS)}")
         return 2
-    EXPERIMENTS[name](args[1:])
+    COMMANDS[name](args[1:])
     return 0
 
 

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Union
 
 import numpy as np
 
+from ..core.histogram import Histogram
 from ..core.sparse import SparseFunction
 
 __all__ = ["WaveletSynopsis", "haar_transform", "inverse_haar_transform", "wavelet_synopsis"]
@@ -99,6 +101,28 @@ class WaveletSynopsis:
         full = np.zeros(self.padded_n)
         full[self.indices] = self.coefficients
         return inverse_haar_transform(full)[: self.n]
+
+    @cached_property
+    def _histogram(self) -> Histogram:
+        return Histogram.from_dense(self.to_dense())
+
+    def to_histogram(self) -> Histogram:
+        """The reconstruction as an exact piecewise-constant histogram.
+
+        Each kept Haar coefficient is constant on two dyadic halves, so the
+        reconstruction from ``B`` terms is piecewise constant with ``O(B)``
+        pieces — a histogram view that makes the synopsis range-queryable.
+        The conversion densifies once and is cached.
+        """
+        return self._histogram
+
+    def prefix_integral(self, x: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """``F(x) = sum_{i < x} recon(i)`` for ``x`` in ``[0, n]``, vectorized.
+
+        Delegates to the cached histogram view, so each query costs
+        ``O(log B)`` after the one-time conversion.
+        """
+        return self._histogram.prefix_integral(x)
 
     def l2_to_dense(self, values: np.ndarray) -> float:
         arr = np.asarray(values, dtype=np.float64)

@@ -14,6 +14,7 @@ from .gram import (
 )
 from .hierarchical import HierarchicalResult, construct_hierarchical_histogram
 from .histogram import Histogram, flatten
+from .integral import PiecewisePrefix
 from .intervals import Partition, initial_partition
 from .merging import (
     MergingResult,
@@ -36,6 +37,7 @@ __all__ = [
     "MergingResult",
     "Partition",
     "PiecewisePolynomial",
+    "PiecewisePrefix",
     "PolynomialFit",
     "PolynomialOracle",
     "PrefixSums",

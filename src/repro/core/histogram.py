@@ -14,6 +14,7 @@ from typing import List, Tuple, Union
 
 import numpy as np
 
+from .integral import PiecewisePrefix
 from .intervals import Partition
 from .prefix import PrefixSums
 from .sparse import SparseFunction
@@ -24,7 +25,7 @@ __all__ = ["Histogram", "flatten"]
 class Histogram:
     """A piecewise-constant function defined by a partition and values."""
 
-    __slots__ = ("partition", "values")
+    __slots__ = ("partition", "values", "_prefix_cache")
 
     def __init__(self, partition: Partition, values: Union[np.ndarray, List[float]]) -> None:
         vals = np.asarray(values, dtype=np.float64)
@@ -35,6 +36,7 @@ class Histogram:
             )
         self.partition = partition
         self.values = vals
+        self._prefix_cache = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -84,6 +86,28 @@ class Histogram:
     def total_mass(self) -> float:
         """``sum_i h(i)``."""
         return float(np.dot(self.values, self.partition.lengths()))
+
+    def piece_masses(self) -> np.ndarray:
+        """Per-piece masses ``v_u * |I_u|``, aligned with the partition."""
+        return self.values * self.partition.lengths()
+
+    def prefix_table(self) -> PiecewisePrefix:
+        """The (cached) prefix-integral table over this histogram's pieces."""
+        if self._prefix_cache is None:
+            self._prefix_cache = PiecewisePrefix.from_constant_pieces(
+                self.n, self.partition.lefts, self.values
+            )
+        return self._prefix_cache
+
+    def prefix_integral(self, x: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """``F(x) = sum_{i < x} h(i)`` for ``x`` in ``[0, n]``, vectorized.
+
+        The half-open convention makes range sums a single subtraction:
+        ``sum_{i in [a, b]} h(i) = F(b + 1) - F(a)``.  The table is cached
+        on first use, so a batch of B queries costs ``O(B log k)``.
+        """
+        out = self.prefix_table().integral(x)
+        return float(out) if np.ndim(x) == 0 else out
 
     def range_mass(self, a: int, b: int) -> float:
         """``sum_{i in [a, b]} h(i)`` in ``O(log k)`` — the synopsis query.

@@ -15,6 +15,7 @@ from typing import List, Union
 import numpy as np
 
 from .fitpoly import PolynomialFit
+from .integral import PiecewisePrefix
 from .intervals import Partition
 from .sparse import SparseFunction
 
@@ -24,7 +25,7 @@ __all__ = ["PiecewisePolynomial"]
 class PiecewisePolynomial:
     """A function on ``{0, ..., n-1}`` that is a polynomial on each piece."""
 
-    __slots__ = ("n", "fits")
+    __slots__ = ("n", "fits", "_prefix_cache")
 
     def __init__(self, n: int, fits: List[PolynomialFit]) -> None:
         if not fits:
@@ -41,6 +42,7 @@ class PiecewisePolynomial:
             raise ValueError(f"pieces end at {expected_left - 1}, expected {n - 1}")
         self.n = int(n)
         self.fits = list(fits)
+        self._prefix_cache = None
 
     # ------------------------------------------------------------------ #
 
@@ -76,6 +78,27 @@ class PiecewisePolynomial:
     def to_dense(self) -> np.ndarray:
         """Materialize as a length-``n`` array."""
         return np.concatenate([fit.to_dense() for fit in self.fits])
+
+    # ------------------------------------------------------------------ #
+    # Prefix integrals (synopsis range queries)
+    # ------------------------------------------------------------------ #
+
+    def prefix_table(self) -> PiecewisePrefix:
+        """The (cached) prefix-integral table; built in one O(n) pass."""
+        if self._prefix_cache is None:
+            self._prefix_cache = PiecewisePrefix.from_polynomial_fits(
+                self.n, self.fits
+            )
+        return self._prefix_cache
+
+    def prefix_integral(self, x: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """``F(x) = sum_{i < x} f(i)`` for ``x`` in ``[0, n]``, vectorized.
+
+        The table is cached on first use; each query then costs
+        ``O(log k + d)``.
+        """
+        out = self.prefix_table().integral(x)
+        return float(out) if np.ndim(x) == 0 else out
 
     # ------------------------------------------------------------------ #
     # l2 geometry

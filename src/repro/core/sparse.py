@@ -37,7 +37,7 @@ class SparseFunction:
     indices throughout.
     """
 
-    __slots__ = ("n", "indices", "values")
+    __slots__ = ("n", "indices", "values", "_prefix_cache")
 
     def __init__(
         self,
@@ -68,6 +68,7 @@ class SparseFunction:
         self.n = int(n)
         self.indices = idx
         self.values = val
+        self._prefix_cache = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -134,6 +135,20 @@ class SparseFunction:
     def total_mass(self) -> float:
         """Sum of all function values."""
         return float(self.values.sum())
+
+    def prefix_integral(self, x: Union[int, np.ndarray]) -> Union[float, np.ndarray]:
+        """``F(x) = sum_{i < x} q(i)`` for ``x`` in ``[0, n]``, vectorized.
+
+        Range sums follow as ``F(b + 1) - F(a)``; each query costs
+        ``O(log s)`` against the cached cumulative values.
+        """
+        if self._prefix_cache is None:
+            self._prefix_cache = np.concatenate(([0.0], np.cumsum(self.values)))
+        xs = np.asarray(x, dtype=np.int64)
+        if np.any((xs < 0) | (xs > self.n)):
+            raise IndexError(f"prefix positions must lie in [0, {self.n}]")
+        out = self._prefix_cache[np.searchsorted(self.indices, xs, side="left")]
+        return float(out) if np.ndim(x) == 0 else out
 
     def l2_norm_squared(self) -> float:
         """``sum_i q(i)^2``."""

@@ -98,10 +98,19 @@ class StreamingHistogramLearner:
         values = np.asarray([self._counts[int(p)] for p in positions], dtype=np.float64)
         return SparseFunction(self.n, positions, values / self._total)
 
+    def stale_since(self, built_at: int) -> bool:
+        """Whether a synopsis built at ``built_at`` samples is due a rebuild.
+
+        The single source of the refresh policy: callers that cache a build
+        externally (e.g. ``SynopsisStore``) share the same cadence as
+        :meth:`histogram`'s internal cache.
+        """
+        return self._total >= self.refresh_factor * max(built_at, 1)
+
     def _stale(self) -> bool:
         if self._cached is None:
             return True
-        return self._total >= self.refresh_factor * max(self._cached_at, 1)
+        return self.stale_since(self._cached_at)
 
     def histogram(self, force_refresh: bool = False) -> Histogram:
         """The current near-optimal histogram (rebuilt lazily).

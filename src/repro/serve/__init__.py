@@ -1,0 +1,41 @@
+"""Synopsis serving: build, store, and answer queries over synopses.
+
+The construction algorithms (merging, hierarchical, GKS, exact DP, wavelet,
+piecewise-polynomial) produce compact summaries; this package turns them
+into a queryable system:
+
+* :mod:`repro.serve.builders` — a registry of synopsis builders, one per
+  family in the repo, returning the synopsis plus size/error/build-time
+  metadata.
+* :mod:`repro.serve.store` — :class:`SynopsisStore`, a named collection of
+  built synopses with versioning and streaming-backed refresh.
+* :mod:`repro.serve.engine` — :class:`QueryEngine`, batched vectorized
+  ``range_sum`` / ``point_mass`` / ``cdf`` / ``quantile`` /
+  ``top_k_buckets`` evaluation over the store, backed by an LRU cache of
+  :class:`PrefixTable` prefix-integral tables.
+* :mod:`repro.serve.cli` — the ``python -m repro serve`` and
+  ``python -m repro query`` subcommands.
+"""
+
+from .builders import (
+    SYNOPSIS_FAMILIES,
+    BuildResult,
+    build_synopsis,
+    register_builder,
+    synopsis_size,
+)
+from .engine import CacheStats, PrefixTable, QueryEngine
+from .store import StoreEntry, SynopsisStore
+
+__all__ = [
+    "BuildResult",
+    "CacheStats",
+    "PrefixTable",
+    "QueryEngine",
+    "StoreEntry",
+    "SynopsisStore",
+    "SYNOPSIS_FAMILIES",
+    "build_synopsis",
+    "register_builder",
+    "synopsis_size",
+]

@@ -1,0 +1,223 @@
+"""Builder registry: one entry per synopsis family in the repo.
+
+Every builder has the uniform signature ``build(q, k, **options)`` where
+``q`` is dense or sparse and ``k`` is the piece/competitor budget, and
+returns a synopsis object supporting ``prefix_integral`` / ``to_dense``.
+:func:`build_synopsis` wraps a builder call with timing and size/error
+metadata so the store can track what each entry costs and how good it is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Union
+
+import numpy as np
+
+from ..baselines.dual_greedy import dual_histogram
+from ..baselines.exact_dp import v_optimal_histogram
+from ..baselines.gks import gks_histogram
+from ..baselines.wavelet import WaveletSynopsis, wavelet_synopsis
+from ..core.fastmerging import construct_fast_histogram
+from ..core.general_merging import construct_piecewise_polynomial
+from ..core.hierarchical import construct_hierarchical_histogram
+from ..core.histogram import Histogram
+from ..core.merging import construct_histogram
+from ..core.piecewise_poly import PiecewisePolynomial
+from ..core.sparse import SparseFunction
+
+__all__ = [
+    "SYNOPSIS_FAMILIES",
+    "BuildResult",
+    "build_synopsis",
+    "register_builder",
+    "synopsis_size",
+]
+
+Synopsis = Union[Histogram, PiecewisePolynomial, WaveletSynopsis, SparseFunction]
+Builder = Callable[..., Synopsis]
+
+_BUILDERS: Dict[str, Builder] = {}
+
+
+def register_builder(name: str) -> Callable[[Builder], Builder]:
+    """Decorator registering ``fn`` as the builder for family ``name``."""
+
+    def wrap(fn: Builder) -> Builder:
+        if name in _BUILDERS:
+            raise ValueError(f"builder {name!r} already registered")
+        _BUILDERS[name] = fn
+        return fn
+
+    return wrap
+
+
+def synopsis_size(synopsis: Synopsis) -> int:
+    """Stored-number footprint of a synopsis (the space budget measure)."""
+    if isinstance(synopsis, Histogram):
+        return 2 * synopsis.num_pieces
+    if isinstance(synopsis, PiecewisePolynomial):
+        return synopsis.num_pieces + synopsis.parameter_count()
+    if isinstance(synopsis, WaveletSynopsis):
+        return synopsis.stored_numbers()
+    if isinstance(synopsis, SparseFunction):
+        return 2 * synopsis.sparsity
+    raise TypeError(f"unsupported synopsis type {type(synopsis).__name__}")
+
+
+@dataclass
+class BuildResult:
+    """A built synopsis plus the metadata the store tracks."""
+
+    synopsis: Synopsis
+    family: str
+    k: int
+    n: int
+    options: Dict[str, Any] = field(default_factory=dict)
+    build_seconds: float = 0.0
+    stored_numbers: int = 0
+    error: float = float("nan")  # exact l2 error against the build input
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-friendly metadata dict (no synopsis payload)."""
+        return {
+            "family": self.family,
+            "k": self.k,
+            "n": self.n,
+            "pieces": _piece_count(self.synopsis),
+            "stored_numbers": self.stored_numbers,
+            "error": self.error,
+            "build_seconds": self.build_seconds,
+            "options": dict(self.options),
+        }
+
+
+def _piece_count(synopsis: Synopsis) -> int:
+    if isinstance(synopsis, WaveletSynopsis):
+        return synopsis.num_terms
+    if isinstance(synopsis, SparseFunction):
+        return synopsis.sparsity
+    return synopsis.num_pieces
+
+
+def _as_sparse(q: Union[np.ndarray, SparseFunction]) -> SparseFunction:
+    return q if isinstance(q, SparseFunction) else SparseFunction.from_dense(q)
+
+
+# --------------------------------------------------------------------- #
+# The families
+# --------------------------------------------------------------------- #
+
+
+@register_builder("merging")
+def _build_merging(q, k, delta: float = 1000.0, gamma: float = 1.0) -> Histogram:
+    """Algorithm 1 greedy pair merging (the paper's workhorse)."""
+    return construct_histogram(q, k, delta=delta, gamma=gamma)
+
+
+@register_builder("fast")
+def _build_fast(q, k, delta: float = 1000.0, gamma: float = 1.0) -> Histogram:
+    """Group merging with the doubly-logarithmic round schedule."""
+    return construct_fast_histogram(q, k, delta=delta, gamma=gamma)
+
+
+@register_builder("hierarchical")
+def _build_hierarchical(q, k) -> Histogram:
+    """Algorithm 2 multi-scale hierarchy, read out at the ``<= 8k`` level."""
+    return construct_hierarchical_histogram(q).histogram_for_budget(k)
+
+
+@register_builder("dual")
+def _build_dual(q, k, tolerance: float = 1e-3) -> Histogram:
+    """Dual greedy: binary search over the per-bucket error budget."""
+    return dual_histogram(q, k, tolerance=tolerance).histogram
+
+
+@register_builder("gks")
+def _build_gks(q, k, delta: float = 1.0) -> Histogram:
+    """[GKS] ``(1 + delta)``-approximate V-optimal DP."""
+    return gks_histogram(q, k, delta=delta).histogram
+
+
+@register_builder("exact_dp")
+def _build_exact_dp(q, k) -> Histogram:
+    """Exact V-optimal DP of [JKM+98] — the quality gold standard."""
+    return v_optimal_histogram(q, k).histogram
+
+
+@register_builder("wavelet")
+def _build_wavelet(q, k) -> WaveletSynopsis:
+    """l2-optimal Haar synopsis at the histogram-equivalent storage budget.
+
+    A ``(2k + 1)``-piece merging histogram stores ``2(2k + 1)`` numbers; a
+    B-term wavelet synopsis stores ``2B``, so ``B = 2k + 1`` matches.
+    """
+    return wavelet_synopsis(q, 2 * k + 1)
+
+
+@register_builder("poly")
+def _build_poly(
+    q, k, degree: int = 2, delta: float = 1000.0, gamma: float = 1.0
+) -> PiecewisePolynomial:
+    """Generalized merging with the degree-``degree`` projection oracle."""
+    return construct_piecewise_polynomial(q, k, degree, delta=delta, gamma=gamma)
+
+
+@register_builder("exact")
+def _build_exact(q, k) -> Histogram:
+    """Lossless run-length histogram of the input (ground-truth serving)."""
+    sparse = _as_sparse(q)
+    return Histogram.from_dense(sparse.to_dense())
+
+
+SYNOPSIS_FAMILIES = tuple(_BUILDERS)
+
+
+def build_synopsis(
+    q: Union[np.ndarray, SparseFunction],
+    family: str,
+    k: int,
+    **options: Any,
+) -> BuildResult:
+    """Build one synopsis of ``q`` and attach size/error/time metadata.
+
+    Parameters
+    ----------
+    q:
+        The series to summarize, dense array or :class:`SparseFunction`.
+    family:
+        One of :data:`SYNOPSIS_FAMILIES`.
+    k:
+        Piece budget (families interpret it as their natural competitor
+        budget; see each builder's docstring).
+    options:
+        Extra keyword arguments forwarded to the family builder.
+    """
+    if family not in _BUILDERS:
+        raise KeyError(
+            f"unknown synopsis family {family!r}; "
+            f"available: {', '.join(SYNOPSIS_FAMILIES)}"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    sparse = _as_sparse(q)
+    start = time.perf_counter()
+    synopsis = _BUILDERS[family](sparse, k, **options)
+    elapsed = time.perf_counter() - start
+    if isinstance(synopsis, (Histogram, PiecewisePolynomial)):
+        error = synopsis.l2_to_sparse(sparse)
+    elif isinstance(synopsis, WaveletSynopsis):
+        error = synopsis.error
+    else:
+        error = 0.0
+    return BuildResult(
+        synopsis=synopsis,
+        family=family,
+        k=int(k),
+        n=sparse.n,
+        options=dict(options),
+        build_seconds=elapsed,
+        stored_numbers=synopsis_size(synopsis),
+        error=float(error),
+    )

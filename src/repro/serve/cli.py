@@ -1,0 +1,214 @@
+"""CLI for the serving engine: ``python -m repro serve`` / ``query``.
+
+``query`` is a one-shot batched benchmark: build one synopsis, fire a
+batch of random queries at it, print sample answers and throughput.
+
+``serve`` registers one synopsis per requested family over a dataset and
+then answers queries from stdin, one per line::
+
+    range <name> <a> <b>      sum over the closed range [a, b]
+    point <name> <x>          point mass at x
+    cdf <name> <x>            P[X <= x]
+    quantile <name> <q>       smallest x with CDF(x) >= q
+    topk <name> <m>           the m heaviest buckets
+    summary                   store metadata
+    cache                     engine cache statistics
+    quit                      exit
+
+Both commands use the Table 1 datasets (``hist``, ``poly``, ``dow``) or a
+synthetic step signal (``steps``, size ``--n``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence, TextIO
+
+import numpy as np
+
+from ..datasets import offline_datasets
+from .builders import SYNOPSIS_FAMILIES
+from .engine import QueryEngine
+from .store import SynopsisStore
+
+__all__ = ["query_main", "serve_main"]
+
+
+def _load_dataset(name: str, n: int, seed: int) -> np.ndarray:
+    if name == "steps":
+        if n < 1:
+            raise SystemExit(f"--n must be positive, got {n}")
+        rng = np.random.default_rng(seed)
+        pieces = min(int(rng.integers(4, 9)), n)
+        edges = np.sort(rng.choice(np.arange(1, n), size=pieces - 1, replace=False))
+        levels = rng.uniform(0.5, 5.0, pieces)
+        values = np.repeat(levels, np.diff(np.concatenate(([0], edges, [n]))))
+        return values + rng.normal(0.0, 0.05, n)
+    datasets = offline_datasets(seed=seed)
+    if name not in datasets:
+        raise SystemExit(
+            f"unknown dataset {name!r}; available: steps, {', '.join(datasets)}"
+        )
+    return np.abs(np.asarray(datasets[name][0], dtype=np.float64)) + 1e-9
+
+
+def _dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="steps",
+        help="steps (synthetic), or a Table 1 dataset: hist, poly, dow",
+    )
+    parser.add_argument("--n", type=int, default=4096, help="size of the steps dataset")
+    parser.add_argument("--k", type=int, default=16, help="synopsis piece budget")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def query_main(argv: Optional[Sequence[str]] = None) -> int:
+    """One-shot batched query benchmark over a single synopsis."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro query", description=query_main.__doc__
+    )
+    _dataset_arguments(parser)
+    parser.add_argument(
+        "--family", default="merging", choices=sorted(SYNOPSIS_FAMILIES)
+    )
+    parser.add_argument(
+        "--kind",
+        default="range_sum",
+        choices=["range_sum", "point_mass", "cdf", "quantile"],
+    )
+    parser.add_argument("--num-queries", type=int, default=10_000)
+    parser.add_argument("--show", type=int, default=5, help="answers to print")
+    args = parser.parse_args(argv)
+
+    values = _load_dataset(args.dataset, args.n, args.seed)
+    store = SynopsisStore()
+    entry = store.register(args.dataset, values, family=args.family, k=args.k)
+    engine = QueryEngine(store)
+
+    rng = np.random.default_rng(args.seed + 1)
+    n = entry.result.n
+    if args.kind == "range_sum":
+        a = rng.integers(0, n, args.num_queries)
+        b = rng.integers(0, n, args.num_queries)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        run = lambda: engine.range_sum(args.dataset, a, b)
+    elif args.kind == "point_mass":
+        x = rng.integers(0, n, args.num_queries)
+        run = lambda: engine.point_mass(args.dataset, x)
+    elif args.kind == "cdf":
+        x = rng.integers(0, n, args.num_queries)
+        run = lambda: engine.cdf(args.dataset, x)
+    else:
+        q = rng.random(args.num_queries)
+        run = lambda: engine.quantile(args.dataset, q)
+
+    try:
+        run()  # warm the prefix-table cache
+        start = time.perf_counter()
+        answers = run()
+        elapsed = time.perf_counter() - start
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    meta = entry.describe()
+    print(
+        f"{meta['family']} synopsis of {args.dataset!r}: n={meta['n']} "
+        f"pieces={meta['pieces']} stored={meta['stored_numbers']} "
+        f"error={meta['error']:.6g} build={meta['build_seconds'] * 1e3:.2f}ms"
+    )
+    shown = np.atleast_1d(answers)[: args.show]
+    print(f"{args.kind} x {args.num_queries}: first {shown.size} answers: "
+          + " ".join(f"{v:.6g}" for v in shown))
+    qps = args.num_queries / max(elapsed, 1e-12)
+    print(f"batched evaluation: {elapsed * 1e3:.3f}ms total, {qps:,.0f} queries/sec")
+    return 0
+
+
+def _print_answer(out, value) -> None:
+    if isinstance(value, float):
+        print(f"{value:.12g}", file=out)
+    else:
+        print(value, file=out)
+
+
+def serve_main(
+    argv: Optional[Sequence[str]] = None,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """Interactive serving loop over a store of synopses (stdin protocol)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve", description=serve_main.__doc__
+    )
+    _dataset_arguments(parser)
+    parser.add_argument(
+        "--families",
+        default="merging,wavelet,gks,poly",
+        help="comma-separated synopsis families to register",
+    )
+    args = parser.parse_args(argv)
+    src = sys.stdin if stdin is None else stdin
+    out = sys.stdout if stdout is None else stdout
+
+    values = _load_dataset(args.dataset, args.n, args.seed)
+    store = SynopsisStore()
+    for family in args.families.split(","):
+        family = family.strip()
+        if not family:
+            continue
+        if family not in SYNOPSIS_FAMILIES:
+            raise SystemExit(
+                f"unknown synopsis family {family!r}; "
+                f"available: {', '.join(sorted(SYNOPSIS_FAMILIES))}"
+            )
+        store.register(family, values, family=family, k=args.k)
+    engine = QueryEngine(store)
+
+    print(
+        f"serving {len(store)} synopses of {args.dataset!r} "
+        f"({', '.join(store.names())}); commands: range point cdf quantile "
+        f"topk summary cache quit",
+        file=out,
+    )
+    for line in src:
+        words = line.split()
+        if not words:
+            continue
+        cmd = words[0].lower()
+        try:
+            if cmd in {"quit", "exit"}:
+                break
+            elif cmd == "summary":
+                for meta in store.summary():
+                    print(
+                        f"{meta['name']}: family={meta['family']} "
+                        f"pieces={meta['pieces']} stored={meta['stored_numbers']} "
+                        f"error={meta['error']:.6g} version={meta['version']}",
+                        file=out,
+                    )
+            elif cmd == "cache":
+                print(engine.cache_info(), file=out)
+            elif cmd == "range":
+                name, a, b = words[1], int(words[2]), int(words[3])
+                _print_answer(out, engine.range_sum(name, a, b))
+            elif cmd == "point":
+                name, x = words[1], int(words[2])
+                _print_answer(out, engine.point_mass(name, x))
+            elif cmd == "cdf":
+                name, x = words[1], int(words[2])
+                _print_answer(out, engine.cdf(name, x))
+            elif cmd == "quantile":
+                name, q = words[1], float(words[2])
+                _print_answer(out, engine.quantile(name, q))
+            elif cmd == "topk":
+                name, m = words[1], int(words[2])
+                for left, right, mass in engine.top_k_buckets(name, m):
+                    print(f"[{left}, {right}] mass={mass:.12g}", file=out)
+            else:
+                print(f"unknown command {cmd!r}", file=out)
+        except (KeyError, ValueError, IndexError) as exc:
+            print(f"error: {exc}", file=out)
+    return 0

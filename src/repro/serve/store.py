@@ -1,0 +1,197 @@
+"""A named store of built synopses, with streaming-backed refresh.
+
+:class:`SynopsisStore` is the registration side of the serving engine:
+each entry couples a name with a built synopsis (any family from
+:mod:`repro.serve.builders`) and a monotone version number.  Entries can be
+backed by a :class:`~repro.sampling.streaming.StreamingHistogramLearner`;
+absorbing samples through :meth:`SynopsisStore.extend` re-synopsizes the
+entry once the learner's refresh policy says the cached summary is stale,
+bumping the version so query-side caches invalidate exactly that entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..core.sparse import SparseFunction
+from ..sampling.streaming import StreamingHistogramLearner
+from .builders import BuildResult, build_synopsis
+
+__all__ = ["StoreEntry", "SynopsisStore"]
+
+
+@dataclass
+class StoreEntry:
+    """One named synopsis plus build metadata and refresh plumbing."""
+
+    name: str
+    result: BuildResult
+    version: int = 0
+    learner: Optional[StreamingHistogramLearner] = None
+    built_at_samples: int = 0
+
+    @property
+    def synopsis(self):
+        return self.result.synopsis
+
+    @property
+    def options(self) -> Dict[str, Any]:
+        return self.result.options
+
+    @property
+    def family(self) -> str:
+        return self.result.family
+
+    @property
+    def k(self) -> int:
+        return self.result.k
+
+    @property
+    def is_streaming(self) -> bool:
+        return self.learner is not None
+
+    def describe(self) -> Dict[str, Any]:
+        meta = self.result.describe()
+        meta["name"] = self.name
+        meta["version"] = self.version
+        meta["streaming"] = self.is_streaming
+        if self.learner is not None:
+            meta["samples_seen"] = self.learner.samples_seen
+        return meta
+
+
+class SynopsisStore:
+    """Registry of named series, each summarized by a chosen synopsis family."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, StoreEntry] = {}
+        # Last version ever issued per name, surviving remove(): a name's
+        # (name, version) pairs must never repeat, or engine caches would
+        # serve a stale table after remove-then-re-register.
+        self._last_versions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        data: Union[np.ndarray, SparseFunction],
+        family: str = "merging",
+        k: int = 8,
+        **options: Any,
+    ) -> StoreEntry:
+        """Build a synopsis of ``data`` and store it under ``name``.
+
+        Re-registering an existing name replaces the synopsis and bumps the
+        version (so engine caches drop the stale table).
+        """
+        result = build_synopsis(data, family, k, **options)
+        return self._install(name, result, learner=None)
+
+    def register_stream(
+        self,
+        name: str,
+        learner: StreamingHistogramLearner,
+        family: str = "merging",
+        k: Optional[int] = None,
+        **options: Any,
+    ) -> StoreEntry:
+        """Store a synopsis backed by a streaming learner.
+
+        The synopsis is built from the learner's current empirical
+        distribution (the learner must have seen at least one sample) and
+        rebuilt by :meth:`refresh` / :meth:`extend` as the stream grows.
+        ``k`` defaults to the learner's own piece budget.
+        """
+        budget = learner.k if k is None else int(k)
+        result = build_synopsis(learner.empirical(), family, budget, **options)
+        entry = self._install(name, result, learner=learner)
+        entry.built_at_samples = learner.samples_seen
+        return entry
+
+    def _install(
+        self,
+        name: str,
+        result: BuildResult,
+        learner: Optional[StreamingHistogramLearner],
+    ) -> StoreEntry:
+        version = self._last_versions.get(name, -1) + 1
+        self._last_versions[name] = version
+        entry = StoreEntry(
+            name=name,
+            result=result,
+            version=version,
+            learner=learner,
+        )
+        self._entries[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Streaming refresh
+    # ------------------------------------------------------------------ #
+
+    def refresh(self, name: str) -> StoreEntry:
+        """Rebuild a streaming-backed entry from its learner's current state."""
+        entry = self[name]
+        if entry.learner is None:
+            raise ValueError(f"entry {name!r} is not backed by a stream")
+        result = build_synopsis(
+            entry.learner.empirical(), entry.family, entry.k, **entry.options
+        )
+        entry.result = result
+        entry.version = self._last_versions[name] = entry.version + 1
+        entry.built_at_samples = entry.learner.samples_seen
+        return entry
+
+    def extend(self, name: str, samples: np.ndarray) -> StoreEntry:
+        """Absorb a sample batch and refresh lazily.
+
+        The entry is re-synopsized only once the sample count has grown by
+        the learner's ``refresh_factor`` since the last build, mirroring the
+        learner's own amortized-O(1) policy; between refreshes queries keep
+        hitting the cached prefix table.
+        """
+        entry = self[name]
+        if entry.learner is None:
+            raise ValueError(f"entry {name!r} is not backed by a stream")
+        entry.learner.extend(samples)
+        if entry.learner.stale_since(entry.built_at_samples):
+            self.refresh(name)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def __getitem__(self, name: str) -> StoreEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no synopsis named {name!r}; "
+                f"registered: {', '.join(self._entries) or '(none)'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def remove(self, name: str) -> None:
+        del self._entries[name]
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """Metadata for every entry (name, family, size, error, version...)."""
+        return [entry.describe() for entry in self._entries.values()]

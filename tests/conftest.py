@@ -1,10 +1,9 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite (strategies live in ``helpers.py``)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import strategies as st
 
 from repro import SparseFunction
 
@@ -27,42 +26,3 @@ def step_signal(rng) -> np.ndarray:
 def sparse_signal() -> SparseFunction:
     """A hand-built sparse function with gaps on a universe of 50."""
     return SparseFunction(50, [3, 4, 10, 29, 48], [1.0, -2.0, 0.5, 3.0, 1.5])
-
-
-# --------------------------------------------------------------------- #
-# Hypothesis strategies
-# --------------------------------------------------------------------- #
-
-def dense_arrays(min_size: int = 1, max_size: int = 40):
-    """Dense float arrays with values in a tame range."""
-    return st.lists(
-        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=32),
-        min_size=min_size,
-        max_size=max_size,
-    ).map(lambda xs: np.asarray(xs, dtype=np.float64))
-
-
-@st.composite
-def sparse_functions(draw, max_n: int = 60, max_nonzeros: int = 12):
-    """Random sparse functions on small universes."""
-    n = draw(st.integers(min_value=1, max_value=max_n))
-    count = draw(st.integers(min_value=0, max_value=min(max_nonzeros, n)))
-    indices = draw(
-        st.lists(
-            st.integers(min_value=0, max_value=n - 1),
-            min_size=count,
-            max_size=count,
-            unique=True,
-        )
-    )
-    indices = sorted(indices)
-    values = draw(
-        st.lists(
-            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=32).filter(
-                lambda v: v != 0.0
-            ),
-            min_size=len(indices),
-            max_size=len(indices),
-        )
-    )
-    return SparseFunction(n, indices, values)

@@ -17,9 +17,9 @@ class TestDispatch:
         assert main([]) == 0
         assert "figure2" in capsys.readouterr().out
 
-    def test_unknown_experiment(self, capsys):
+    def test_unknown_command(self, capsys):
         assert main(["bogus"]) == 2
-        assert "unknown experiment" in capsys.readouterr().out
+        assert "unknown command" in capsys.readouterr().out
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {

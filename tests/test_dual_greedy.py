@@ -13,7 +13,7 @@ from repro import (
     v_optimal_histogram,
 )
 
-from conftest import dense_arrays, sparse_functions
+from helpers import dense_arrays, sparse_functions
 
 
 class TestGreedySweep:

@@ -12,7 +12,7 @@ from repro import (
     v_optimal_histogram,
 )
 
-from conftest import dense_arrays
+from helpers import dense_arrays
 
 
 class TestSmallExactness:

@@ -17,7 +17,7 @@ from repro import (
 )
 from repro.datasets import make_hist_dataset
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 class TestPieceBounds:

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro import SparseFunction, fit_polynomial
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 def lstsq_reference(dense: np.ndarray, a: int, b: int, degree: int):

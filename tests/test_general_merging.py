@@ -18,7 +18,7 @@ from repro import (
     target_pieces,
 )
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 class TestReducesToAlgorithm1:

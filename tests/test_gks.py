@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro import gks_histogram, v_optimal_histogram
 
-from conftest import dense_arrays
+from helpers import dense_arrays
 
 
 class TestApproximationGuarantee:

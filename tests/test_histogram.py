@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro import Histogram, Partition, PrefixSums, SparseFunction, flatten
 
-from conftest import dense_arrays, sparse_functions
+from helpers import dense_arrays, sparse_functions
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro import Histogram, Partition, construct_histogram
 
-from conftest import dense_arrays
+from helpers import dense_arrays
 
 
 @pytest.fixture

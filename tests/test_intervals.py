@@ -6,7 +6,7 @@ from hypothesis import given
 
 from repro import Partition, SparseFunction, flatten, initial_partition
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 class TestPartitionConstruction:

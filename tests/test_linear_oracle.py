@@ -12,7 +12,7 @@ from repro import (
     construct_general_histogram,
 )
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 class TestAgainstGenericOracle:

@@ -18,7 +18,7 @@ from repro import (
     v_optimal_histogram,
 )
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 class TestParameters:

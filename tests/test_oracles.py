@@ -6,7 +6,7 @@ from hypothesis import given, settings
 
 from repro import ConstantOracle, PolynomialOracle, PrefixSums, SparseFunction
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 class TestConstantOracle:

@@ -5,7 +5,7 @@ import pytest
 
 from repro import PiecewisePolynomial, SparseFunction, fit_polynomial
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 from hypothesis import given, settings
 
 

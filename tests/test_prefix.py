@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro import PrefixSums, SparseFunction
 
-from conftest import sparse_functions
+from helpers import sparse_functions
 
 
 def brute_interval_stats(dense: np.ndarray, a: int, b: int):

@@ -1,0 +1,500 @@
+"""Tests for the synopsis serving engine (repro.serve)."""
+
+import io
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    Histogram,
+    QueryEngine,
+    SYNOPSIS_FAMILIES,
+    SparseFunction,
+    StreamingHistogramLearner,
+    SynopsisStore,
+    build_synopsis,
+    construct_piecewise_polynomial,
+    wavelet_synopsis,
+)
+from repro.__main__ import main
+from repro.core.integral import PiecewisePrefix
+from repro.serve.engine import PrefixTable
+
+
+def random_distribution(n: int, seed: int = 7) -> np.ndarray:
+    """A positive random signal normalized to unit mass."""
+    rng = np.random.default_rng(seed)
+    values = np.abs(rng.normal(1.0, 0.5, n)) + 1e-6
+    return values / values.sum()
+
+
+def dense_prefix(dense: np.ndarray) -> np.ndarray:
+    return np.concatenate(([0.0], np.cumsum(dense)))
+
+
+# --------------------------------------------------------------------- #
+# prefix_integral on the synopsis classes themselves
+# --------------------------------------------------------------------- #
+
+
+class TestPrefixIntegral:
+    def test_histogram_matches_cumsum(self, rng):
+        values = rng.normal(0.0, 1.0, 300)
+        hist = Histogram.from_dense(np.round(values, 1))
+        F = dense_prefix(hist.to_dense())
+        xs = np.arange(hist.n + 1)
+        np.testing.assert_allclose(hist.prefix_integral(xs), F, atol=1e-12)
+        assert hist.prefix_integral(0) == 0.0
+        assert hist.prefix_integral(hist.n) == pytest.approx(hist.total_mass())
+
+    def test_sparse_matches_cumsum(self, sparse_signal):
+        F = dense_prefix(sparse_signal.to_dense())
+        xs = np.arange(sparse_signal.n + 1)
+        np.testing.assert_allclose(sparse_signal.prefix_integral(xs), F, atol=1e-12)
+
+    def test_wavelet_matches_cumsum(self, rng):
+        values = rng.normal(2.0, 1.0, 230)  # non-power-of-two: padded path
+        syn = wavelet_synopsis(values, 20)
+        F = dense_prefix(syn.to_dense())
+        xs = np.arange(syn.n + 1)
+        np.testing.assert_allclose(syn.prefix_integral(xs), F, atol=1e-9)
+        assert syn.to_histogram() is syn.to_histogram()  # conversion is cached
+
+    @pytest.mark.parametrize("degree", [0, 1, 3, 5])
+    def test_piecewise_poly_matches_cumsum(self, degree):
+        values = random_distribution(400, seed=degree)
+        pp = construct_piecewise_polynomial(values, 4, degree, delta=1000.0)
+        F = dense_prefix(pp.to_dense())
+        xs = np.arange(pp.n + 1)
+        np.testing.assert_allclose(pp.prefix_integral(xs), F, atol=1e-9)
+
+    @pytest.mark.parametrize("degree", [3, 5, 7])
+    def test_piecewise_poly_long_pieces_stay_accurate(self, degree):
+        """Regression: high-degree partial sums on ~10k-point pieces.
+
+        A Newton-at-zero / hockey-stick evaluation blows up here (errors
+        of 1e2+ at degree 5 on unit-mass signals); the scaled-basis
+        interpolation must stay at float precision.
+        """
+        values = random_distribution(65_536, seed=degree)
+        pp = construct_piecewise_polynomial(values, 4, degree, delta=1000.0)
+        F = dense_prefix(pp.to_dense())
+        xs = np.arange(0, pp.n + 1, 97)
+        np.testing.assert_allclose(pp.prefix_integral(xs), F[xs], atol=1e-9)
+
+    def test_scalar_positions(self, rng):
+        hist = Histogram.from_dense(np.round(rng.normal(0, 1, 50), 1))
+        out = hist.prefix_integral(17)
+        assert isinstance(out, float)
+        assert out == pytest.approx(float(np.sum(hist.to_dense()[:17])))
+
+    def test_out_of_range_raises(self, sparse_signal):
+        with pytest.raises(IndexError):
+            sparse_signal.prefix_integral(sparse_signal.n + 1)
+        with pytest.raises(IndexError):
+            sparse_signal.prefix_integral(-1)
+
+
+# --------------------------------------------------------------------- #
+# Engine queries vs brute-force dense evaluation, every family
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def family_engines():
+    """One store + engine with every registered family over one signal."""
+    values = random_distribution(500)
+    store = SynopsisStore()
+    for family in SYNOPSIS_FAMILIES:
+        store.register(family, values, family=family, k=6)
+    return store, QueryEngine(store)
+
+
+@pytest.mark.parametrize("family", SYNOPSIS_FAMILIES)
+class TestQueriesMatchBruteForce:
+    """Every query kind against np brute force on the dense reconstruction."""
+
+    def brute(self, store, family):
+        return store[family].synopsis.to_dense()
+
+    def test_range_sum(self, family_engines, family):
+        store, engine = family_engines
+        F = dense_prefix(self.brute(store, family))
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 500, 2000)
+        b = rng.integers(0, 500, 2000)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        np.testing.assert_allclose(
+            engine.range_sum(family, a, b), F[b + 1] - F[a], atol=1e-9
+        )
+
+    def test_point_mass(self, family_engines, family):
+        store, engine = family_engines
+        dense = self.brute(store, family)
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 500, 1000)
+        np.testing.assert_allclose(engine.point_mass(family, x), dense[x], atol=1e-9)
+
+    def test_cdf(self, family_engines, family):
+        store, engine = family_engines
+        F = dense_prefix(self.brute(store, family))
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 500, 1000)
+        np.testing.assert_allclose(
+            engine.cdf(family, x), F[x + 1] / F[-1], atol=1e-9
+        )
+
+    def test_quantile(self, family_engines, family):
+        store, engine = family_engines
+        F = dense_prefix(self.brute(store, family))
+        prefix = engine.table(family).prefix
+        if not (prefix.is_piecewise_linear or prefix.is_nondecreasing):
+            with pytest.raises(ValueError, match="not monotone"):
+                engine.quantile(family, 0.5)
+            return
+        rng = np.random.default_rng(6)
+        qs = rng.random(500)
+        # Contract reference: smallest x with F(x + 1) >= q * total, valid
+        # even when the reconstruction dips negative (searchsorted is not).
+        crossed = F[None, 1:] >= (qs * F[-1])[:, None]
+        want = np.where(crossed.any(axis=1), crossed.argmax(axis=1), 499)
+        np.testing.assert_array_equal(engine.quantile(family, qs), want)
+
+    def test_batched_agrees_with_scalar(self, family_engines, family):
+        store, engine = family_engines
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 500, 25)
+        b = rng.integers(0, 500, 25)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        batched = engine.range_sum(family, a, b)
+        scalars = [engine.range_sum(family, int(ai), int(bi)) for ai, bi in zip(a, b)]
+        assert all(isinstance(s, float) for s in scalars)
+        np.testing.assert_allclose(batched, scalars, rtol=0, atol=0)
+        assert engine.quantile(family, 0.5) == int(engine.quantile(family, np.asarray([0.5]))[0])
+
+
+class TestQueryValidation:
+    def test_bad_ranges(self, family_engines):
+        _, engine = family_engines
+        with pytest.raises(ValueError):
+            engine.range_sum("merging", 10, 5)
+        with pytest.raises(ValueError):
+            engine.range_sum("merging", -1, 5)
+        with pytest.raises(ValueError):
+            engine.point_mass("merging", 500)
+        with pytest.raises(ValueError):
+            engine.quantile("merging", 1.5)
+
+    def test_unknown_name(self, family_engines):
+        _, engine = family_engines
+        with pytest.raises(KeyError, match="registered"):
+            engine.range_sum("nope", 0, 1)
+
+    def test_top_k_buckets(self, family_engines):
+        store, engine = family_engines
+        hist = store["merging"].synopsis
+        buckets = engine.top_k_buckets("merging", 3)
+        assert len(buckets) == 3
+        masses = [m for _, _, m in buckets]
+        assert masses == sorted(masses, reverse=True)
+        # Heaviest bucket matches a direct piece-mass computation.
+        piece_masses = hist.piece_masses()
+        assert masses[0] == pytest.approx(float(np.max(piece_masses)))
+        left, right, _ = buckets[0]
+        u = int(np.argmax(piece_masses))
+        assert (left, right) == hist.partition.interval(u)
+
+
+# --------------------------------------------------------------------- #
+# Store and cache behavior
+# --------------------------------------------------------------------- #
+
+
+class TestStore:
+    def test_register_and_summary(self):
+        store = SynopsisStore()
+        values = random_distribution(128)
+        store.register("a", values, family="merging", k=4)
+        store.register("b", values, family="wavelet", k=4)
+        assert set(store.names()) == {"a", "b"}
+        assert "a" in store and len(store) == 2
+        meta = {m["name"]: m for m in store.summary()}
+        assert meta["a"]["family"] == "merging"
+        assert meta["b"]["stored_numbers"] == store["b"].result.stored_numbers
+        assert meta["a"]["version"] == 0
+
+    def test_reregister_bumps_version(self):
+        store = SynopsisStore()
+        values = random_distribution(128)
+        store.register("a", values, family="merging", k=4)
+        store.register("a", values, family="gks", k=4)
+        assert store["a"].version == 1
+        assert store["a"].family == "gks"
+
+    def test_unknown_family(self):
+        store = SynopsisStore()
+        with pytest.raises(KeyError, match="unknown synopsis family"):
+            store.register("a", random_distribution(64), family="bogus", k=4)
+
+    def test_build_result_metadata(self):
+        values = random_distribution(256)
+        result = build_synopsis(values, "merging", 5)
+        assert result.n == 256
+        assert result.stored_numbers == 2 * result.synopsis.num_pieces
+        assert result.error == pytest.approx(result.synopsis.l2_to_dense(values))
+        assert result.build_seconds >= 0.0
+
+
+class TestCache:
+    def test_hits_and_misses(self):
+        store = SynopsisStore()
+        values = random_distribution(128)
+        store.register("a", values, family="merging", k=4)
+        engine = QueryEngine(store)
+        engine.range_sum("a", 0, 10)
+        engine.cdf("a", np.arange(20))
+        engine.quantile("a", 0.25)
+        info = engine.cache_info()
+        assert info["misses"] == 1  # one table build, reused by every query
+        assert info["hits"] == 2
+        assert info["size"] == 1
+
+    def test_eviction_lru(self):
+        store = SynopsisStore()
+        values = random_distribution(128)
+        for name in ("a", "b", "c"):
+            store.register(name, values, family="merging", k=4)
+        engine = QueryEngine(store, cache_size=2)
+        engine.range_sum("a", 0, 10)
+        engine.range_sum("b", 0, 10)
+        engine.range_sum("a", 0, 10)  # refresh a's recency
+        engine.range_sum("c", 0, 10)  # evicts b, the least recent
+        assert engine.cache_info()["evictions"] == 1
+        before = engine.cache_info()["misses"]
+        engine.range_sum("a", 0, 10)  # still cached
+        assert engine.cache_info()["misses"] == before
+        engine.range_sum("b", 0, 10)  # was evicted -> rebuild
+        assert engine.cache_info()["misses"] == before + 1
+
+    def test_reregister_invalidates(self):
+        store = SynopsisStore()
+        values = random_distribution(128)
+        store.register("a", values, family="merging", k=4)
+        engine = QueryEngine(store)
+        first = engine.range_sum("a", 0, 63)
+        store.register("a", np.roll(values, 40), family="merging", k=4)
+        second = engine.range_sum("a", 0, 63)
+        assert engine.cache_info()["misses"] == 2
+        assert first != second
+
+    def test_remove_then_reregister_invalidates(self):
+        """Versions never repeat for a name, even across remove()."""
+        store = SynopsisStore()
+        store.register("a", np.ones(64), family="merging", k=4)
+        engine = QueryEngine(store)
+        assert engine.range_sum("a", 32, 63) == pytest.approx(32.0)
+        store.remove("a")
+        store.register("a", np.zeros(64) + np.eye(64)[0], family="merging", k=4)
+        assert store["a"].version == 1
+        assert engine.range_sum("a", 32, 63) == pytest.approx(0.0)
+        assert engine.cache_info()["misses"] == 2
+
+
+# --------------------------------------------------------------------- #
+# Streaming-backed entries
+# --------------------------------------------------------------------- #
+
+
+class TestStreaming:
+    def make_stream(self, seed=11):
+        rng = np.random.default_rng(seed)
+        learner = StreamingHistogramLearner(n=100, k=3)
+        learner.extend(rng.integers(0, 50, 500))
+        return rng, learner
+
+    def test_register_stream(self):
+        _, learner = self.make_stream()
+        store = SynopsisStore()
+        entry = store.register_stream("live", learner)
+        assert entry.is_streaming
+        assert entry.k == learner.k
+        assert store.summary()[0]["samples_seen"] == 500
+
+    def test_refresh_bumps_version_and_changes_answers(self):
+        rng, learner = self.make_stream()
+        store = SynopsisStore()
+        store.register_stream("live", learner)
+        engine = QueryEngine(store)
+        before = engine.cdf("live", 49)
+        assert before == pytest.approx(1.0, abs=1e-9)  # all mass in [0, 50)
+        learner.extend(rng.integers(50, 100, 2000))  # shift mass right
+        store.refresh("live")
+        assert store["live"].version == 1
+        after = engine.cdf("live", 49)
+        assert after < 0.5
+        assert engine.cache_info()["misses"] == 2  # old table invalidated
+
+    def test_extend_refreshes_lazily(self):
+        rng, learner = self.make_stream()
+        store = SynopsisStore()
+        store.register_stream("live", learner)
+        store.extend("live", rng.integers(0, 50, 10))  # below refresh factor
+        assert store["live"].version == 0
+        store.extend("live", rng.integers(0, 50, 5000))  # doubling -> rebuild
+        assert store["live"].version == 1
+
+    def test_refresh_non_stream_raises(self):
+        store = SynopsisStore()
+        store.register("a", random_distribution(64), family="merging", k=4)
+        with pytest.raises(ValueError, match="not backed by a stream"):
+            store.refresh("a")
+        with pytest.raises(ValueError, match="not backed by a stream"):
+            store.extend("a", np.asarray([1]))
+
+
+# --------------------------------------------------------------------- #
+# Batched throughput: the point of the engine
+# --------------------------------------------------------------------- #
+
+
+class TestBatchedSpeed:
+    def test_batched_beats_python_loop_10x(self):
+        values = random_distribution(4096, seed=2)
+        store = SynopsisStore()
+        store.register("s", values, family="merging", k=16)
+        engine = QueryEngine(store)
+        rng = np.random.default_rng(8)
+        B = 10_000
+        a = rng.integers(0, 4096, B)
+        b = rng.integers(0, 4096, B)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        engine.range_sum("s", a, b)  # warm the table
+
+        start = time.perf_counter()
+        batched = engine.range_sum("s", a, b)
+        batched_time = time.perf_counter() - start
+
+        loop_n = 500  # time a slice of the loop and extrapolate
+        start = time.perf_counter()
+        looped = [
+            engine.range_sum("s", int(a[i]), int(b[i])) for i in range(loop_n)
+        ]
+        loop_time = (time.perf_counter() - start) * (B / loop_n)
+
+        np.testing.assert_allclose(batched[:loop_n], looped, rtol=0, atol=0)
+        assert loop_time > 10.0 * batched_time, (
+            f"batched {batched_time * 1e3:.2f}ms vs loop {loop_time * 1e3:.2f}ms"
+        )
+
+
+# --------------------------------------------------------------------- #
+# PrefixTable internals and CLI
+# --------------------------------------------------------------------- #
+
+
+class TestPrefixTable:
+    def test_rejects_unknown_synopsis(self):
+        with pytest.raises(TypeError):
+            PrefixTable.from_synopsis(object())
+
+    def test_sparse_function_table(self, sparse_signal):
+        table = PrefixTable.from_synopsis(sparse_signal)
+        F = dense_prefix(sparse_signal.to_dense())
+        np.testing.assert_allclose(
+            table.integral(np.arange(sparse_signal.n + 1)), F, atol=1e-12
+        )
+        assert table.total_mass == pytest.approx(sparse_signal.total_mass())
+
+    def test_zero_mass_cdf_raises(self):
+        table = PrefixTable.from_synopsis(
+            Histogram.from_dense(np.zeros(8) + np.array([0, 0, 0, 0, 0, 0, 0, 0]))
+        )
+        with pytest.raises(ValueError, match="positive total mass"):
+            table.cdf(3)
+        with pytest.raises(ValueError, match="positive total mass"):
+            table.quantile(0.5)
+
+    def test_quantile_exact_with_negative_pieces(self):
+        """Piecewise-constant quantile honors the first-crossing contract
+        even when a piece is negative (the prefix is non-monotone)."""
+        dense = np.array([2.0, 2.0, 2.0, -1.0, -1.0, 3.0, 3.0, 3.0])
+        table = PrefixTable.from_synopsis(Histogram.from_dense(dense))
+        assert table.prefix.is_piecewise_linear
+        F = dense_prefix(dense)
+        qs = np.concatenate(([0.0, 1.0], np.random.default_rng(12).random(200)))
+        targets = qs * F[-1]
+        crossed = F[None, 1:] >= targets[:, None]
+        want = np.where(crossed.any(axis=1), crossed.argmax(axis=1), dense.size - 1)
+        np.testing.assert_array_equal(table.quantile(qs), want)
+
+    def test_quantile_non_monotone_poly_raises(self):
+        # Piece 0: S(s) = s^2 - 1 (zero mass, dips negative); piece 1 constant.
+        prefix = PiecewisePrefix(
+            8,
+            np.array([0, 4]),
+            np.array([[-1.0, 0.0, 1.0], [2.0, 2.0, 0.0]]),
+        )
+        table = PrefixTable(prefix)
+        assert not prefix.is_piecewise_linear
+        assert not prefix.is_nondecreasing
+        with pytest.raises(ValueError, match="not monotone"):
+            table.quantile(0.5)
+        assert table.range_sum(0, 7) == pytest.approx(4.0)
+
+    def test_quantile_monotone_poly_uses_bisection(self):
+        # One quadratic piece with S(s) = (1 + s)^2 / 2: nondecreasing.
+        prefix = PiecewisePrefix(4, np.array([0]), np.array([[0.5, 1.0, 0.5]]))
+        table = PrefixTable(prefix)
+        assert not prefix.is_piecewise_linear
+        assert prefix.is_nondecreasing
+        F = table.integral(np.arange(5))
+        qs = np.random.default_rng(13).random(100)
+        crossed = F[None, 1:] >= (qs * F[-1])[:, None]
+        want = np.where(crossed.any(axis=1), crossed.argmax(axis=1), 3)
+        np.testing.assert_array_equal(table.quantile(qs), want)
+
+
+class TestServeCLI:
+    def test_query_subcommand(self, capsys):
+        assert main(["query", "--n", "512", "--k", "4", "--num-queries", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/sec" in out and "merging" in out
+
+    def test_query_quantile_kind(self, capsys):
+        assert main(
+            ["query", "--n", "256", "--kind", "quantile", "--num-queries", "50"]
+        ) == 0
+        assert "quantile x 50" in capsys.readouterr().out
+
+    def test_query_non_monotone_quantile_errors_cleanly(self):
+        # The steps dataset's poly fit dips negative: a clean one-line
+        # error, not a traceback (matching the serve loop's handling).
+        with pytest.raises(SystemExit, match="not monotone"):
+            main(["query", "--family", "poly", "--kind", "quantile",
+                  "--num-queries", "10"])
+
+    def test_serve_loop(self):
+        from repro.serve.cli import serve_main
+
+        commands = io.StringIO(
+            "summary\nrange merging 0 100\npoint merging 5\ncdf merging 100\n"
+            "quantile merging 0.5\ntopk merging 2\ncache\nbad cmd\n"
+            "range nope 0 1\nquit\n"
+        )
+        out = io.StringIO()
+        assert serve_main(
+            ["--n", "512", "--k", "4", "--families", "merging,wavelet"],
+            stdin=commands,
+            stdout=out,
+        ) == 0
+        text = out.getvalue()
+        assert "serving 2 synopses" in text
+        assert "family=merging" in text and "family=wavelet" in text
+        assert "mass=" in text
+        assert "unknown command 'bad'" in text
+        assert "error:" in text
+
+    def test_unknown_command_still_errors(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "query" in capsys.readouterr().out

@@ -6,7 +6,7 @@ from hypothesis import given
 
 from repro import SparseFunction
 
-from conftest import dense_arrays, sparse_functions
+from helpers import dense_arrays, sparse_functions
 
 
 class TestConstruction:

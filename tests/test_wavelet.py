@@ -14,7 +14,7 @@ from repro import (
 )
 from repro.baselines.wavelet import _next_power_of_two
 
-from conftest import dense_arrays
+from helpers import dense_arrays
 
 
 class TestTransform:
