@@ -1,0 +1,85 @@
+"""Benchmark: EXT-persistence — durable store save/load costs.
+
+Measures what persistence buys: ``save`` and ``load`` throughput of a
+multi-entry store, the lazy-vs-eager load trade-off (a lazy load touches
+only the manifest, so time-to-first-byte is flat in store size), and the
+cost a *cold* first query pays to hydrate one entry from its npz payload.
+The headline comparison is load-and-serve vs rebuild-from-data: loading a
+persisted synopsis skips the entire construction cost, which is the point
+of the store surviving restarts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import QueryEngine
+from repro.serve.persistence import load_store, save_store
+from repro.serve.store import SynopsisStore
+
+FAMILIES = ("merging", "wavelet", "gks", "poly")
+N = 65_536
+K = 16
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(7)
+    return np.abs(rng.normal(1.0, 0.5, N)) + 1e-6
+
+
+@pytest.fixture(scope="module")
+def store(signal):
+    store = SynopsisStore()
+    for family in FAMILIES:
+        store.register(family, signal, family=family, k=K)
+    return store
+
+
+@pytest.fixture(scope="module")
+def store_dir(store, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "store"
+    save_store(store, path)
+    return path
+
+
+def test_save(benchmark, store, tmp_path):
+    benchmark(lambda: save_store(store, tmp_path / "store"))
+    benchmark.extra_info["entries"] = len(store)
+
+
+@pytest.mark.parametrize("lazy", [True, False], ids=["lazy", "eager"])
+def test_load(benchmark, store_dir, lazy):
+    benchmark(lambda: load_store(store_dir, lazy=lazy))
+    benchmark.extra_info["lazy"] = lazy
+
+
+def test_first_query_after_lazy_load(benchmark, store_dir):
+    """Cold-start latency: hydrate one entry + build its prefix table."""
+
+    def cold_query():
+        engine = QueryEngine(load_store(store_dir))
+        return engine.range_sum("merging", 0, N - 1)
+
+    benchmark(cold_query)
+
+
+def test_load_vs_rebuild(store_dir, signal):
+    """Loading a persisted synopsis must beat rebuilding it from data."""
+    import time
+
+    start = time.perf_counter()
+    loaded = load_store(store_dir, lazy=False)
+    load_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rebuilt = SynopsisStore()
+    for family in FAMILIES:
+        rebuilt.register(family, signal, family=family, k=K)
+    build_time = time.perf_counter() - start
+
+    assert set(loaded.names()) == set(rebuilt.names())
+    print(f"\nload={load_time * 1e3:.1f}ms rebuild={build_time * 1e3:.1f}ms "
+          f"speedup={build_time / load_time:.0f}x")
+    assert load_time < build_time

@@ -79,13 +79,19 @@ from .datasets import (
     subsample_uniform,
 )
 from .serve import (
+    SYNOPSIS_CODECS,
     SYNOPSIS_FAMILIES,
     BuildResult,
     PrefixTable,
     QueryEngine,
+    StoreCorruptionError,
     SynopsisStore,
     build_synopsis,
+    load_store,
+    save_store,
+    synopsis_from_dict,
     synopsis_size,
+    synopsis_to_dict,
 )
 from .sampling import (
     DiscreteDistribution,
@@ -129,8 +135,10 @@ __all__ = [
     "PrefixTable",
     "ProjectionOracle",
     "QueryEngine",
+    "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "SparseFunction",
+    "StoreCorruptionError",
     "StreamingHistogramLearner",
     "SynopsisStore",
     "WaveletSynopsis",
@@ -164,6 +172,7 @@ __all__ = [
     "learn_multiscale",
     "learn_piecewise_polynomial",
     "learning_datasets",
+    "load_store",
     "lower_bound_pair",
     "make_dow_dataset",
     "make_hist_dataset",
@@ -172,8 +181,11 @@ __all__ = [
     "offline_datasets",
     "opt_k",
     "sample_size",
+    "save_store",
     "subsample_uniform",
+    "synopsis_from_dict",
     "synopsis_size",
+    "synopsis_to_dict",
     "target_pieces",
     "v_optimal_histogram",
     "wavelet_synopsis",

@@ -14,7 +14,11 @@ Experiments:
 Serving commands:
 
 * ``query``       — build one synopsis, answer a batch of random queries
-* ``serve``       — register synopses and answer queries from stdin
+* ``serve``       — register synopses (or load a persisted store with
+  ``--store-dir``) and answer queries from stdin
+* ``save``        — build synopses and persist the store to a directory
+* ``load``        — load + fully validate a persisted store
+* ``inspect``     — print a persisted store's manifest (no payload reads)
 
 Run ``python -m repro <command> --help`` for per-command options.
 """
@@ -34,7 +38,7 @@ from .experiments import (
     scaling,
     table1,
 )
-from .serve.cli import query_main, serve_main
+from .serve.cli import inspect_main, load_main, query_main, save_main, serve_main
 
 EXPERIMENTS = {
     "figure1": figure1.main,
@@ -51,6 +55,9 @@ COMMANDS = {
     **EXPERIMENTS,
     "query": query_main,
     "serve": serve_main,
+    "save": save_main,
+    "load": load_main,
+    "inspect": inspect_main,
 }
 
 

@@ -28,6 +28,7 @@ from typing import Union
 import numpy as np
 
 from ..core.histogram import Histogram
+from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 
 __all__ = ["WaveletSynopsis", "haar_transform", "inverse_haar_transform", "wavelet_synopsis"]
@@ -130,6 +131,51 @@ class WaveletSynopsis:
             raise ValueError("universe sizes differ")
         diff = self.to_dense() - arr
         return float(np.sqrt(np.dot(diff, diff)))
+
+    # ------------------------------------------------------------------ #
+    # Serialization (synopses are meant to be stored)
+    # ------------------------------------------------------------------ #
+
+    kind = "wavelet"
+    schema_version = 1
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation: ``O(B)`` numbers."""
+        return {
+            "kind": self.kind,
+            "schema": self.schema_version,
+            "n": self.n,
+            "padded_n": self.padded_n,
+            "indices": self.indices.tolist(),
+            "coefficients": self.coefficients.tolist(),
+            "error": self.error,
+            "error_sq": self.error_sq,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WaveletSynopsis":
+        """Inverse of :meth:`to_dict`; validates the coefficient layout."""
+        check_payload_tag(payload, cls)
+        n = int(payload["n"])
+        padded_n = int(payload["padded_n"])
+        indices = np.asarray(payload["indices"], dtype=np.int64)
+        coefficients = np.asarray(payload["coefficients"], dtype=np.float64)
+        if padded_n < n or padded_n & (padded_n - 1):
+            raise ValueError(f"padded_n must be a power of two >= n, got {padded_n}")
+        if indices.shape != coefficients.shape or indices.ndim != 1:
+            raise ValueError("indices and coefficients must be equal-length 1-D")
+        if indices.size and (
+            indices[0] < 0 or indices[-1] >= padded_n or np.any(np.diff(indices) <= 0)
+        ):
+            raise ValueError("indices must be strictly increasing in [0, padded_n)")
+        return cls(
+            n=n,
+            padded_n=padded_n,
+            indices=indices,
+            coefficients=coefficients,
+            error=float(payload["error"]),
+            error_sq=float(payload["error_sq"]),
+        )
 
 
 def wavelet_synopsis(

@@ -22,6 +22,7 @@ from typing import Union
 import numpy as np
 
 from .gram import evaluate_gram_basis
+from .serialize import check_payload_tag
 from .sparse import SparseFunction
 
 __all__ = ["PolynomialFit", "fit_polynomial"]
@@ -51,6 +52,40 @@ class PolynomialFit:
     def to_dense(self) -> np.ndarray:
         """Values on the whole interval ``[a, b]`` as an array."""
         return self.evaluate(np.arange(self.a, self.b + 1))
+
+    kind = "polynomial_fit"
+    schema_version = 1
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation: ``degree + 1`` coefficients."""
+        return {
+            "kind": self.kind,
+            "schema": self.schema_version,
+            "a": self.a,
+            "b": self.b,
+            "degree": self.degree,
+            "coefficients": self.coefficients.tolist(),
+            "error_sq": self.error_sq,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolynomialFit":
+        """Inverse of :meth:`to_dict`."""
+        check_payload_tag(payload, cls)
+        coefficients = np.asarray(payload["coefficients"], dtype=np.float64)
+        degree = int(payload["degree"])
+        if coefficients.ndim != 1 or coefficients.size != degree + 1:
+            raise ValueError(
+                f"degree-{degree} fit needs {degree + 1} coefficients, "
+                f"got {coefficients.size}"
+            )
+        return cls(
+            a=int(payload["a"]),
+            b=int(payload["b"]),
+            degree=degree,
+            coefficients=coefficients,
+            error_sq=float(payload["error_sq"]),
+        )
 
     def monomial_coefficients(self) -> np.ndarray:
         """Coefficients in the monomial basis of the local variable ``x - a``.

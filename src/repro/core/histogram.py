@@ -17,6 +17,7 @@ import numpy as np
 from .integral import PiecewisePrefix
 from .intervals import Partition
 from .prefix import PrefixSums
+from .serialize import check_payload_tag
 from .sparse import SparseFunction
 
 __all__ = ["Histogram", "flatten"]
@@ -200,9 +201,18 @@ class Histogram:
     # Serialization (synopses are meant to be stored)
     # ------------------------------------------------------------------ #
 
+    kind = "histogram"
+    schema_version = 1
+
     def to_dict(self) -> dict:
-        """A JSON-serializable representation: ``O(k)`` numbers."""
+        """A JSON-serializable representation: ``O(k)`` numbers.
+
+        Tagged with ``kind`` and ``schema`` so payloads are self-describing
+        (see :data:`repro.serve.builders.SYNOPSIS_CODECS`).
+        """
         return {
+            "kind": self.kind,
+            "schema": self.schema_version,
             "n": self.n,
             "rights": self.partition.rights.tolist(),
             "values": self.values.tolist(),
@@ -210,7 +220,11 @@ class Histogram:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Histogram":
-        """Inverse of :meth:`to_dict`; validates the partition."""
+        """Inverse of :meth:`to_dict`; validates the partition.
+
+        Untagged legacy payloads (no ``kind``/``schema`` keys) still load.
+        """
+        check_payload_tag(payload, cls)
         return cls(
             Partition(int(payload["n"]), np.asarray(payload["rights"], dtype=np.int64)),
             np.asarray(payload["values"], dtype=np.float64),

@@ -17,6 +17,7 @@ import numpy as np
 from .fitpoly import PolynomialFit
 from .integral import PiecewisePrefix
 from .intervals import Partition
+from .serialize import check_payload_tag
 from .sparse import SparseFunction
 
 __all__ = ["PiecewisePolynomial"]
@@ -153,6 +154,29 @@ class PiecewisePolynomial:
             float(fit.coefficients[0]) * math.sqrt(fit.num_points)
             for fit in self.fits
         )
+
+    # ------------------------------------------------------------------ #
+    # Serialization (synopses are meant to be stored)
+    # ------------------------------------------------------------------ #
+
+    kind = "piecewise_poly"
+    schema_version = 1
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation: ``sum (d_i + 1) + O(k)`` numbers."""
+        return {
+            "kind": self.kind,
+            "schema": self.schema_version,
+            "n": self.n,
+            "fits": [fit.to_dict() for fit in self.fits],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PiecewisePolynomial":
+        """Inverse of :meth:`to_dict`; validates that the pieces tile ``[0, n)``."""
+        check_payload_tag(payload, cls)
+        fits = [PolynomialFit.from_dict(fit) for fit in payload["fits"]]
+        return cls(int(payload["n"]), fits)
 
     def __repr__(self) -> str:
         return (

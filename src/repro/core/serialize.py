@@ -1,0 +1,39 @@
+"""Shared helpers for the versioned synopsis serialization protocol.
+
+Every synopsis family round-trips through ``to_dict`` / ``from_dict`` with
+two tag keys: ``kind`` (the family's registry tag, a class attribute) and
+``schema`` (an integer bumped on any incompatible layout change).  The
+``from_dict`` implementations call :func:`check_payload_tag` first so a
+payload written by a future schema, or routed to the wrong class, fails
+loudly instead of deserializing garbage.  Payloads written before the tags
+existed (no ``kind``/``schema`` keys) still load, for forward-only
+compatibility with the pre-persistence format.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_payload_tag"]
+
+
+def check_payload_tag(payload: dict, cls: type) -> None:
+    """Validate a payload's ``kind``/``schema`` tags against ``cls``.
+
+    ``cls`` must define ``kind`` (str) and ``schema_version`` (int) class
+    attributes.  Missing tags are accepted (legacy payloads); present tags
+    must match the class and not come from a newer schema.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected a payload dict, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind is not None and kind != cls.kind:
+        raise ValueError(
+            f"payload kind {kind!r} does not match {cls.__name__} "
+            f"(expected {cls.kind!r})"
+        )
+    schema = payload.get("schema")
+    if schema is not None and int(schema) > cls.schema_version:
+        raise ValueError(
+            f"payload schema {schema} is newer than the supported "
+            f"{cls.kind!r} schema {cls.schema_version}; upgrade the library "
+            f"to load it"
+        )

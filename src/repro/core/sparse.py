@@ -14,6 +14,8 @@ from typing import Iterable, Tuple, Union
 
 import numpy as np
 
+from .serialize import check_payload_tag
+
 __all__ = ["SparseFunction"]
 
 
@@ -169,6 +171,33 @@ class SparseFunction:
         lo = int(np.searchsorted(self.indices, a, side="left"))
         hi = int(np.searchsorted(self.indices, b, side="right"))
         return SparseFunction(self.n, self.indices[lo:hi], self.values[lo:hi])
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    kind = "sparse"
+    schema_version = 1
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable representation: ``O(s)`` numbers."""
+        return {
+            "kind": self.kind,
+            "schema": self.schema_version,
+            "n": self.n,
+            "indices": self.indices.tolist(),
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SparseFunction":
+        """Inverse of :meth:`to_dict`; validates indices and shapes."""
+        check_payload_tag(payload, cls)
+        return cls(
+            int(payload["n"]),
+            np.asarray(payload["indices"], dtype=np.int64),
+            np.asarray(payload["values"], dtype=np.float64),
+        )
 
     # ------------------------------------------------------------------ #
     # Comparison helpers (used heavily in tests)

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.histogram import Histogram
 from ..core.merging import construct_histogram_partition
+from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 
 __all__ = ["StreamingHistogramLearner"]
@@ -140,3 +141,69 @@ class StreamingHistogramLearner:
         drive stopping rules without ground truth.
         """
         return self.histogram().l2_to_sparse(self.empirical())
+
+    # ------------------------------------------------------------------ #
+    # Serialization (so a persisted store can resume the stream)
+    # ------------------------------------------------------------------ #
+
+    kind = "streaming_learner"
+    schema_version = 1
+
+    def state_dict(self) -> dict:
+        """The learner's resumable state: parameters plus exact counters.
+
+        The cached histogram and its watermark are included (``O(k)``
+        numbers), so a revived learner answers :meth:`histogram` /
+        :meth:`stale_since` identically to the original — same cached
+        build, same refresh cadence.
+        """
+        positions = sorted(self._counts)
+        state = {
+            "kind": self.kind,
+            "schema": self.schema_version,
+            "n": self.n,
+            "k": self.k,
+            "merge_delta": self.merge_delta,
+            "merge_gamma": self.merge_gamma,
+            "refresh_factor": self.refresh_factor,
+            "total": self._total,
+            "positions": positions,
+            "counts": [self._counts[p] for p in positions],
+        }
+        if self._cached is not None:
+            state["cached"] = self._cached.to_dict()
+            state["cached_at"] = self._cached_at
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingHistogramLearner":
+        """Revive a learner from :meth:`state_dict` output."""
+        check_payload_tag(state, cls)
+        learner = cls(
+            n=int(state["n"]),
+            k=int(state["k"]),
+            merge_delta=float(state["merge_delta"]),
+            merge_gamma=float(state["merge_gamma"]),
+            refresh_factor=float(state["refresh_factor"]),
+        )
+        positions = np.asarray(state["positions"], dtype=np.int64)
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if positions.shape != counts.shape or positions.ndim != 1:
+            raise ValueError("positions and counts must be equal-length 1-D")
+        if positions.size and (
+            positions[0] < 0
+            or positions[-1] >= learner.n
+            or np.any(np.diff(positions) <= 0)
+        ):
+            raise ValueError("positions must be strictly increasing in [0, n)")
+        if np.any(counts <= 0):
+            raise ValueError("counts must be positive")
+        learner._counts = dict(zip(positions.tolist(), counts.tolist()))
+        total = int(state["total"])
+        if total != int(counts.sum()):
+            raise ValueError("total does not match the summed counts")
+        learner._total = total
+        if state.get("cached") is not None:
+            learner._cached = Histogram.from_dict(state["cached"])
+            learner._cached_at = int(state.get("cached_at", 0))
+        return learner

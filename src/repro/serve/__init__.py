@@ -9,22 +9,30 @@ into a queryable system:
   metadata.
 * :mod:`repro.serve.store` — :class:`SynopsisStore`, a named collection of
   built synopses with versioning and streaming-backed refresh.
+* :mod:`repro.serve.persistence` — durable store directories: JSON
+  manifest + per-entry npz payloads, atomic replace, lazy hydration
+  (``store.save(path)`` / ``SynopsisStore.load(path)``).
 * :mod:`repro.serve.engine` — :class:`QueryEngine`, batched vectorized
   ``range_sum`` / ``point_mass`` / ``cdf`` / ``quantile`` /
   ``top_k_buckets`` evaluation over the store, backed by an LRU cache of
   :class:`PrefixTable` prefix-integral tables.
-* :mod:`repro.serve.cli` — the ``python -m repro serve`` and
-  ``python -m repro query`` subcommands.
+* :mod:`repro.serve.cli` — the ``python -m repro serve`` / ``query`` /
+  ``save`` / ``load`` / ``inspect`` subcommands.
 """
 
 from .builders import (
+    SYNOPSIS_CODECS,
     SYNOPSIS_FAMILIES,
     BuildResult,
     build_synopsis,
     register_builder,
+    register_synopsis_codec,
+    synopsis_from_dict,
     synopsis_size,
+    synopsis_to_dict,
 )
 from .engine import CacheStats, PrefixTable, QueryEngine
+from .persistence import StoreCorruptionError, load_store, save_store
 from .store import StoreEntry, SynopsisStore
 
 __all__ = [
@@ -32,10 +40,17 @@ __all__ = [
     "CacheStats",
     "PrefixTable",
     "QueryEngine",
+    "StoreCorruptionError",
     "StoreEntry",
     "SynopsisStore",
+    "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "build_synopsis",
+    "load_store",
     "register_builder",
+    "register_synopsis_codec",
+    "save_store",
+    "synopsis_from_dict",
     "synopsis_size",
+    "synopsis_to_dict",
 ]

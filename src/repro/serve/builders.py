@@ -1,17 +1,25 @@
-"""Builder registry: one entry per synopsis family in the repo.
+"""Builder and codec registries: one entry per synopsis family in the repo.
 
 Every builder has the uniform signature ``build(q, k, **options)`` where
 ``q`` is dense or sparse and ``k`` is the piece/competitor budget, and
 returns a synopsis object supporting ``prefix_integral`` / ``to_dense``.
 :func:`build_synopsis` wraps a builder call with timing and size/error
 metadata so the store can track what each entry costs and how good it is.
+
+The codec side is the universal serialization protocol: every synopsis
+*type* carries a ``kind`` tag and versioned ``to_dict`` / ``from_dict``,
+and :data:`SYNOPSIS_CODECS` maps tags back to classes so
+:func:`synopsis_from_dict` can revive a payload without knowing its family
+up front.  :class:`BuildResult` round-trips the same way, carrying the
+build metadata (family, options, error, ...) alongside the synopsis
+payload so a reloaded entry's ``describe()`` matches the pre-save one.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Union
+from typing import Any, Callable, Dict, Optional, Type, Union
 
 import numpy as np
 
@@ -25,14 +33,20 @@ from ..core.hierarchical import construct_hierarchical_histogram
 from ..core.histogram import Histogram
 from ..core.merging import construct_histogram
 from ..core.piecewise_poly import PiecewisePolynomial
+from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 
 __all__ = [
+    "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "BuildResult",
     "build_synopsis",
     "register_builder",
+    "register_synopsis_codec",
+    "synopsis_from_dict",
+    "synopsis_kind",
     "synopsis_size",
+    "synopsis_to_dict",
 ]
 
 Synopsis = Union[Histogram, PiecewisePolynomial, WaveletSynopsis, SparseFunction]
@@ -53,6 +67,53 @@ def register_builder(name: str) -> Callable[[Builder], Builder]:
     return wrap
 
 
+SYNOPSIS_CODECS: Dict[str, Type[Synopsis]] = {}
+
+
+def register_synopsis_codec(cls: Type[Synopsis]) -> Type[Synopsis]:
+    """Register ``cls`` (with ``kind``/``to_dict``/``from_dict``) as a codec."""
+    kind = cls.kind
+    if kind in SYNOPSIS_CODECS:
+        raise ValueError(f"synopsis codec {kind!r} already registered")
+    SYNOPSIS_CODECS[kind] = cls
+    return cls
+
+
+for _cls in (Histogram, PiecewisePolynomial, WaveletSynopsis, SparseFunction):
+    register_synopsis_codec(_cls)
+
+
+def synopsis_kind(synopsis: Synopsis) -> str:
+    """The registered ``kind`` tag for a synopsis object."""
+    for kind, cls in SYNOPSIS_CODECS.items():
+        if isinstance(synopsis, cls):
+            return kind
+    raise TypeError(
+        f"unsupported synopsis type {type(synopsis).__name__}; "
+        f"registered kinds: {', '.join(SYNOPSIS_CODECS)}"
+    )
+
+
+def synopsis_to_dict(synopsis: Synopsis) -> Dict[str, Any]:
+    """Serialize any registered synopsis to its type-tagged payload."""
+    synopsis_kind(synopsis)  # raises TypeError for unregistered types
+    return synopsis.to_dict()
+
+
+def synopsis_from_dict(payload: Dict[str, Any]) -> Synopsis:
+    """Revive a synopsis from a type-tagged payload (inverse of
+    :func:`synopsis_to_dict`)."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected a payload dict, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in SYNOPSIS_CODECS:
+        raise KeyError(
+            f"unknown synopsis kind {kind!r}; "
+            f"registered: {', '.join(SYNOPSIS_CODECS)}"
+        )
+    return SYNOPSIS_CODECS[kind].from_dict(payload)
+
+
 def synopsis_size(synopsis: Synopsis) -> int:
     """Stored-number footprint of a synopsis (the space budget measure)."""
     if isinstance(synopsis, Histogram):
@@ -68,9 +129,15 @@ def synopsis_size(synopsis: Synopsis) -> int:
 
 @dataclass
 class BuildResult:
-    """A built synopsis plus the metadata the store tracks."""
+    """A built synopsis plus the metadata the store tracks.
 
-    synopsis: Synopsis
+    ``synopsis`` may be ``None`` for a result loaded lazily from disk; the
+    metadata (including the cached ``pieces`` count) stays available, and
+    the owning :class:`~repro.serve.store.StoreEntry` hydrates the payload
+    on first query.
+    """
+
+    synopsis: Optional[Synopsis]
     family: str
     k: int
     n: int
@@ -78,6 +145,7 @@ class BuildResult:
     build_seconds: float = 0.0
     stored_numbers: int = 0
     error: float = float("nan")  # exact l2 error against the build input
+    pieces: int = 0  # piece/term count, cached so it survives lazy loads
 
     def describe(self) -> Dict[str, Any]:
         """A JSON-friendly metadata dict (no synopsis payload)."""
@@ -85,12 +153,58 @@ class BuildResult:
             "family": self.family,
             "k": self.k,
             "n": self.n,
-            "pieces": _piece_count(self.synopsis),
+            "pieces": self.pieces,
             "stored_numbers": self.stored_numbers,
             "error": self.error,
             "build_seconds": self.build_seconds,
             "options": dict(self.options),
         }
+
+    kind = "build_result"
+    schema_version = 1
+
+    def to_dict(self, include_synopsis: bool = True) -> Dict[str, Any]:
+        """Type-tagged payload carrying metadata and (optionally) the synopsis.
+
+        With ``include_synopsis=False`` only the ``describe()`` metadata is
+        emitted — the manifest half of a store directory, whose synopsis
+        payload lives in a sibling npz file.
+        """
+        payload = {"kind": self.kind, "schema": self.schema_version}
+        payload.update(self.describe())
+        if include_synopsis:
+            if self.synopsis is None:
+                raise ValueError(
+                    "cannot serialize an unhydrated BuildResult; hydrate the "
+                    "store entry first or pass include_synopsis=False"
+                )
+            payload["synopsis"] = synopsis_to_dict(self.synopsis)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BuildResult":
+        """Inverse of :meth:`to_dict`.
+
+        A payload without a ``synopsis`` key revives as an unhydrated
+        result (``synopsis is None``) whose metadata is fully usable.
+        """
+        check_payload_tag(payload, cls)
+        synopsis_payload = payload.get("synopsis")
+        return cls(
+            synopsis=(
+                synopsis_from_dict(synopsis_payload)
+                if synopsis_payload is not None
+                else None
+            ),
+            family=str(payload["family"]),
+            k=int(payload["k"]),
+            n=int(payload["n"]),
+            options=dict(payload.get("options", {})),
+            build_seconds=float(payload.get("build_seconds", 0.0)),
+            stored_numbers=int(payload.get("stored_numbers", 0)),
+            error=float(payload.get("error", float("nan"))),
+            pieces=int(payload.get("pieces", 0)),
+        )
 
 
 def _piece_count(synopsis: Synopsis) -> int:
@@ -220,4 +334,5 @@ def build_synopsis(
         build_seconds=elapsed,
         stored_numbers=synopsis_size(synopsis),
         error=float(error),
+        pieces=_piece_count(synopsis),
     )

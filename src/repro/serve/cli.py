@@ -1,10 +1,12 @@
-"""CLI for the serving engine: ``python -m repro serve`` / ``query``.
+"""CLI for the serving engine: ``python -m repro serve`` / ``query`` /
+``save`` / ``load`` / ``inspect``.
 
 ``query`` is a one-shot batched benchmark: build one synopsis, fire a
 batch of random queries at it, print sample answers and throughput.
 
-``serve`` registers one synopsis per requested family over a dataset and
-then answers queries from stdin, one per line::
+``serve`` answers queries from stdin, one per line, over a store that is
+either built fresh (one synopsis per requested family over a dataset) or
+loaded from a persisted store directory (``--store-dir``, lazy)::
 
     range <name> <a> <b>      sum over the closed range [a, b]
     point <name> <x>          point mass at x
@@ -13,10 +15,21 @@ then answers queries from stdin, one per line::
     topk <name> <m>           the m heaviest buckets
     summary                   store metadata
     cache                     engine cache statistics
+    save <dir>                persist the store (atomic replace)
     quit                      exit
 
-Both commands use the Table 1 datasets (``hist``, ``poly``, ``dow``) or a
-synthetic step signal (``steps``, size ``--n``).
+The persistence commands operate on store directories written by
+``SynopsisStore.save`` (JSON manifest + per-entry npz payloads):
+
+* ``save`` builds one synopsis per family over a dataset and persists the
+  store to ``--store-dir``.
+* ``load`` fully hydrates a persisted store, warms an engine over it, and
+  prints each entry's metadata — a validation pass.
+* ``inspect`` prints the manifest (schema, entries) without reading any
+  payload.
+
+Dataset-building commands use the Table 1 datasets (``hist``, ``poly``,
+``dow``) or a synthetic step signal (``steps``, size ``--n``).
 """
 
 from __future__ import annotations
@@ -31,9 +44,10 @@ import numpy as np
 from ..datasets import offline_datasets
 from .builders import SYNOPSIS_FAMILIES
 from .engine import QueryEngine
+from .persistence import StoreCorruptionError, read_manifest
 from .store import SynopsisStore
 
-__all__ = ["query_main", "serve_main"]
+__all__ = ["inspect_main", "load_main", "query_main", "save_main", "serve_main"]
 
 
 def _load_dataset(name: str, n: int, seed: int) -> np.ndarray:
@@ -63,6 +77,49 @@ def _dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--n", type=int, default=4096, help="size of the steps dataset")
     parser.add_argument("--k", type=int, default=16, help="synopsis piece budget")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _families_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--families",
+        default="merging,wavelet,gks,poly",
+        help="comma-separated synopsis families to register",
+    )
+
+
+def _build_family_store(args: argparse.Namespace) -> SynopsisStore:
+    """One synopsis per requested family over the requested dataset."""
+    values = _load_dataset(args.dataset, args.n, args.seed)
+    store = SynopsisStore()
+    for family in args.families.split(","):
+        family = family.strip()
+        if not family:
+            continue
+        if family not in SYNOPSIS_FAMILIES:
+            raise SystemExit(
+                f"unknown synopsis family {family!r}; "
+                f"available: {', '.join(sorted(SYNOPSIS_FAMILIES))}"
+            )
+        store.register(family, values, family=family, k=args.k)
+    return store
+
+
+def _load_store_or_exit(store_dir: str, lazy: bool = True) -> SynopsisStore:
+    try:
+        return SynopsisStore.load(store_dir, lazy=lazy)
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _summary_line(meta: dict) -> str:
+    line = (
+        f"{meta['name']}: family={meta['family']} pieces={meta['pieces']} "
+        f"stored={meta['stored_numbers']} error={meta['error']:.6g} "
+        f"version={meta['version']}"
+    )
+    if meta.get("streaming"):
+        line += f" streaming samples={meta.get('samples_seen', 0)}"
+    return line
 
 
 def query_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -144,33 +201,29 @@ def serve_main(
         prog="python -m repro serve", description=serve_main.__doc__
     )
     _dataset_arguments(parser)
+    _families_argument(parser)
     parser.add_argument(
-        "--families",
-        default="merging,wavelet,gks,poly",
-        help="comma-separated synopsis families to register",
+        "--store-dir",
+        default=None,
+        help="serve a persisted store directory (lazy) instead of building "
+        "synopses from --dataset/--families",
     )
     args = parser.parse_args(argv)
     src = sys.stdin if stdin is None else stdin
     out = sys.stdout if stdout is None else stdout
 
-    values = _load_dataset(args.dataset, args.n, args.seed)
-    store = SynopsisStore()
-    for family in args.families.split(","):
-        family = family.strip()
-        if not family:
-            continue
-        if family not in SYNOPSIS_FAMILIES:
-            raise SystemExit(
-                f"unknown synopsis family {family!r}; "
-                f"available: {', '.join(sorted(SYNOPSIS_FAMILIES))}"
-            )
-        store.register(family, values, family=family, k=args.k)
+    if args.store_dir is not None:
+        store = _load_store_or_exit(args.store_dir, lazy=True)
+        source = f"store {args.store_dir!r}"
+    else:
+        store = _build_family_store(args)
+        source = f"{args.dataset!r}"
     engine = QueryEngine(store)
 
     print(
-        f"serving {len(store)} synopses of {args.dataset!r} "
+        f"serving {len(store)} synopses of {source} "
         f"({', '.join(store.names())}); commands: range point cdf quantile "
-        f"topk summary cache quit",
+        f"topk summary cache save quit",
         file=out,
     )
     for line in src:
@@ -183,12 +236,10 @@ def serve_main(
                 break
             elif cmd == "summary":
                 for meta in store.summary():
-                    print(
-                        f"{meta['name']}: family={meta['family']} "
-                        f"pieces={meta['pieces']} stored={meta['stored_numbers']} "
-                        f"error={meta['error']:.6g} version={meta['version']}",
-                        file=out,
-                    )
+                    print(_summary_line(meta), file=out)
+            elif cmd == "save":
+                store.save(words[1])
+                print(f"saved {len(store)} entries to {words[1]}", file=out)
             elif cmd == "cache":
                 print(engine.cache_info(), file=out)
             elif cmd == "range":
@@ -209,6 +260,90 @@ def serve_main(
                     print(f"[{left}, {right}] mass={mass:.12g}", file=out)
             else:
                 print(f"unknown command {cmd!r}", file=out)
-        except (KeyError, ValueError, IndexError) as exc:
+        except (
+            KeyError,
+            ValueError,
+            IndexError,
+            OSError,
+            StoreCorruptionError,
+        ) as exc:
             print(f"error: {exc}", file=out)
+    return 0
+
+
+def save_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Build synopses over a dataset and persist the store to a directory."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro save", description=save_main.__doc__
+    )
+    _dataset_arguments(parser)
+    _families_argument(parser)
+    parser.add_argument("--store-dir", required=True, help="output store directory")
+    args = parser.parse_args(argv)
+
+    store = _build_family_store(args)
+    try:
+        store.save(args.store_dir)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    for meta in store.summary():
+        print(_summary_line(meta))
+    print(f"saved {len(store)} entries to {args.store_dir}")
+    return 0
+
+
+def load_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Load and fully validate a persisted store (hydrates every entry)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro load", description=load_main.__doc__
+    )
+    parser.add_argument("store_dir", help="store directory to load")
+    args = parser.parse_args(argv)
+
+    store = _load_store_or_exit(args.store_dir, lazy=False)
+    engine = QueryEngine(store, cache_size=max(len(store), 1))
+    try:
+        tables = engine.warm()
+    except (StoreCorruptionError, ValueError, TypeError) as exc:
+        raise SystemExit(f"error: {exc}")
+    for meta in store.summary():
+        print(_summary_line(meta))
+    print(f"loaded {len(store)} entries, {tables} prefix tables warm")
+    return 0
+
+
+def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Print a persisted store's manifest without reading any payload."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro inspect", description=inspect_main.__doc__
+    )
+    parser.add_argument("store_dir", help="store directory to inspect")
+    args = parser.parse_args(argv)
+
+    try:
+        manifest = read_manifest(args.store_dir)
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        raise SystemExit(f"error: {exc}")
+    entries = manifest["entries"]
+    print(
+        f"{manifest['format']} schema={manifest['schema']} "
+        f"entries={len(entries)}"
+    )
+    for record in entries:
+        try:
+            result = record.get("result", {})
+            line = (
+                f"{record.get('name')}: family={result.get('family')} "
+                f"k={result.get('k')} n={result.get('n')} "
+                f"pieces={result.get('pieces')} stored={result.get('stored_numbers')} "
+                f"error={float(result.get('error', float('nan'))):.6g} "
+                f"version={record.get('version')} payload={record.get('payload')}"
+            )
+            if record.get("streaming"):
+                line += f" streaming samples={record.get('samples_seen', 0)}"
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"error: invalid manifest entry in {args.store_dir}: {exc}"
+            )
+        print(line)
     return 0

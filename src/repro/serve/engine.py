@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -254,6 +254,18 @@ class QueryEngine:
             self._tables.popitem(last=False)
             self.stats.evictions += 1
         return table
+
+    def warm(self, names: Optional[List[str]] = None) -> int:
+        """Prefetch prefix tables for ``names`` (default: every entry).
+
+        Hydrates lazily-loaded entries as a side effect, so a store loaded
+        from disk can pay its deserialization cost up front instead of on
+        the first query.  Returns the number of tables now resident (at
+        most ``cache_size``).
+        """
+        for name in self.store.names() if names is None else names:
+            self.table(name)
+        return len(self._tables)
 
     def cache_info(self) -> dict:
         return {

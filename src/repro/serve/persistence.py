@@ -1,0 +1,436 @@
+"""Disk persistence for :class:`~repro.serve.store.SynopsisStore`.
+
+A persisted store is a directory::
+
+    store_dir/
+      manifest.json     # format tag, schema version, per-entry metadata
+      entry-0000.npz    # one payload per entry: synopsis (+ learner) arrays
+      entry-0001.npz
+      ...
+
+The manifest carries everything ``summary()`` / ``describe()`` report —
+family, k, options, error, version, streaming counters — so a store loads
+*lazily*: :func:`load_store` materializes only the manifest, and each
+entry's npz payload hydrates on its first query (or eagerly with
+``lazy=False``).  Payloads are the universal type-tagged ``to_dict``
+payloads of :mod:`repro.serve.builders`, split into a JSON skeleton plus
+exact float64/int64 arrays, so reloaded synopses answer queries
+bitwise-identically to the originals.
+
+Writes are crash-safe: everything lands in a temporary sibling directory
+first and the final directory is swapped in by rename, so a failed or
+interrupted save leaves the previous store intact.  :func:`load_store`
+validates the manifest and the presence/integrity of every payload file up
+front and raises :exc:`StoreCorruptionError` — never a half-hydrated store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import uuid
+import zipfile
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..sampling.streaming import StreamingHistogramLearner
+from .builders import (
+    BuildResult,
+    synopsis_from_dict,
+    synopsis_kind,
+    synopsis_to_dict,
+)
+from .store import StoreEntry, SynopsisStore
+
+__all__ = [
+    "MANIFEST_NAME",
+    "STORE_FORMAT",
+    "STORE_SCHEMA_VERSION",
+    "StoreCorruptionError",
+    "load_store",
+    "read_manifest",
+    "save_store",
+]
+
+MANIFEST_NAME = "manifest.json"
+STORE_FORMAT = "repro-synopsis-store"
+STORE_SCHEMA_VERSION = 1
+
+
+class StoreCorruptionError(RuntimeError):
+    """A persisted store directory is missing, truncated, or inconsistent."""
+
+
+# --------------------------------------------------------------------- #
+# Payload <-> npz: JSON skeleton plus exact numeric arrays
+# --------------------------------------------------------------------- #
+
+
+def _is_numeric_list(obj: Any) -> bool:
+    return (
+        isinstance(obj, list)
+        and bool(obj)
+        and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in obj
+        )
+    )
+
+
+def _flatten_payload(payload: Dict[str, Any]) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Split a ``to_dict`` payload into a JSON skeleton and numeric arrays.
+
+    Numeric lists (the ``O(k)``-sized parts) become float64/int64 npz
+    arrays referenced from the skeleton by key path; everything else stays
+    in the skeleton.  Generic over payload shape, so codecs registered
+    after this module shipped persist without changes here.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+
+    def walk(obj: Any, path: str) -> Any:
+        if isinstance(obj, dict):
+            return {key: walk(val, f"{path}.{key}") for key, val in obj.items()}
+        if _is_numeric_list(obj):
+            arrays[path] = np.asarray(obj)
+            return {"__array__": path}
+        if isinstance(obj, list):
+            return [walk(val, f"{path}.{i}") for i, val in enumerate(obj)]
+        return obj
+
+    return walk(payload, "payload"), arrays
+
+
+def _restore_payload(skeleton: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_flatten_payload`.
+
+    Array references resolve to the ndarrays themselves (not lists): every
+    ``from_dict`` consumer runs its fields through ``np.asarray`` anyway,
+    so boxing into Python objects would only double the hydration cost.
+    """
+
+    def walk(obj: Any) -> Any:
+        if isinstance(obj, dict):
+            if set(obj) == {"__array__"}:
+                return arrays[obj["__array__"]]
+            return {key: walk(val) for key, val in obj.items()}
+        if isinstance(obj, list):
+            return [walk(val) for val in obj]
+        return obj
+
+    return walk(skeleton)
+
+
+def _write_payload(path: Path, payload: Dict[str, Any]) -> None:
+    skeleton, arrays = _flatten_payload(payload)
+    np.savez_compressed(
+        path, **arrays, __skeleton__=np.asarray(json.dumps(skeleton))
+    )
+
+
+def _read_payload(path: Path) -> Dict[str, Any]:
+    try:
+        with np.load(path) as npz:
+            skeleton = json.loads(str(npz["__skeleton__"][()]))
+            arrays = {key: npz[key] for key in npz.files if key != "__skeleton__"}
+        # Inside the try: a skeleton referencing an array missing from the
+        # npz is corruption too, not a bare KeyError.
+        return _restore_payload(skeleton, arrays)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile, zlib.error) as exc:
+        raise StoreCorruptionError(
+            f"unreadable entry payload {path.name!r}: {exc}"
+        ) from exc
+
+
+# --------------------------------------------------------------------- #
+# Save
+# --------------------------------------------------------------------- #
+
+
+def _entry_payload(entry: StoreEntry, store_uid: str) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "store_uid": store_uid,
+        "name": entry.name,  # guards against payload files swapped on disk
+        "synopsis": synopsis_to_dict(entry.synopsis),
+    }
+    if entry.learner is not None:
+        payload["learner"] = entry.learner.state_dict()
+    return payload
+
+
+def _manifest_entry(entry: StoreEntry, payload_name: str) -> Dict[str, Any]:
+    record = {
+        "name": entry.name,
+        "version": entry.version,
+        "built_at_samples": entry.built_at_samples,
+        "streaming": entry.is_streaming,
+        "payload": payload_name,
+        "synopsis_kind": synopsis_kind(entry.synopsis),
+        "result": entry.result.to_dict(include_synopsis=False),
+    }
+    if entry.learner is not None:
+        record["samples_seen"] = entry.learner.samples_seen
+    return record
+
+
+def _looks_like_store(path: Path) -> bool:
+    return (path / MANIFEST_NAME).is_file()
+
+
+def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
+    """Persist ``store`` to directory ``path``, atomically replacing it.
+
+    All payloads and the manifest are written to a temporary sibling
+    directory first; only after every byte is on disk is the target swapped
+    in by rename, and any error during the swap rolls the previous store
+    back.  A failure mid-save therefore leaves the previous store at
+    ``path`` intact, except for a hard process kill inside the
+    two-rename swap window itself (microseconds; the previous store then
+    survives in a ``.<name>.old-*`` sibling).  Refuses to replace an
+    existing directory that is not a synopsis store (and not empty), so a
+    typo cannot clobber other data.
+
+    Lazily-loaded entries are hydrated as they are serialized, so saving a
+    loaded-but-unqueried store is a faithful copy.
+    """
+    path = Path(path)
+    if path.exists():
+        if not path.is_dir():
+            raise ValueError(f"refusing to replace non-directory {path}")
+        if not _looks_like_store(path) and any(path.iterdir()):
+            raise ValueError(
+                f"refusing to replace {path}: existing directory is not a "
+                f"synopsis store"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    token = uuid.uuid4().hex[:8]
+    # Each save gets a fresh uid, written into the manifest AND every
+    # payload: a lazy reader whose directory is replaced by a later save
+    # then fails hydration loudly instead of silently serving the new
+    # payloads under the old metadata.
+    store_uid = uuid.uuid4().hex
+    tmp = path.parent / f".{path.name}.tmp-{token}"
+    tmp.mkdir()
+    try:
+        entries = []
+        for index, name in enumerate(store.names()):
+            entry = store[name]
+            entry.hydrate()
+            payload_name = f"entry-{index:04d}.npz"
+            _write_payload(tmp / payload_name, _entry_payload(entry, store_uid))
+            entries.append(_manifest_entry(entry, payload_name))
+        manifest = {
+            "format": STORE_FORMAT,
+            "schema": STORE_SCHEMA_VERSION,
+            "store_uid": store_uid,
+            "entries": entries,
+            "last_versions": dict(store._last_versions),
+        }
+        with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        if path.exists():
+            old = path.parent / f".{path.name}.old-{token}"
+            os.rename(path, old)
+            try:
+                os.rename(tmp, path)
+            except BaseException:
+                os.rename(old, path)  # roll the previous store back in
+                raise
+            shutil.rmtree(old)
+        else:
+            os.rename(tmp, path)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# --------------------------------------------------------------------- #
+# Load
+# --------------------------------------------------------------------- #
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a store directory's manifest (no payload reads)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not path.is_dir() or not manifest_path.is_file():
+        raise FileNotFoundError(f"no synopsis store at {path}")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreCorruptionError(
+            f"unreadable store manifest {manifest_path}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
+        raise StoreCorruptionError(
+            f"{manifest_path} is not a {STORE_FORMAT!r} manifest"
+        )
+    schema = manifest.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        raise StoreCorruptionError(f"{manifest_path} has invalid schema {schema!r}")
+    if schema > STORE_SCHEMA_VERSION:
+        raise StoreCorruptionError(
+            f"store schema {schema} is newer than supported schema "
+            f"{STORE_SCHEMA_VERSION}; upgrade the library to load it"
+        )
+    if not isinstance(manifest.get("entries"), list):
+        raise StoreCorruptionError(f"{manifest_path} has no entry list")
+    return manifest
+
+
+def _hydrate_entry(
+    entry: StoreEntry,
+    payload_path: Path,
+    expected_kind: Optional[str] = None,
+    expected_uid: Optional[str] = None,
+) -> None:
+    """Fill ``entry.result.synopsis`` (and learner) from its npz payload."""
+    payload = _read_payload(payload_path)
+    if not isinstance(payload, dict) or "synopsis" not in payload:
+        raise StoreCorruptionError(
+            f"entry payload {payload_path.name!r} has no synopsis"
+        )
+    if expected_uid is not None and payload.get("store_uid") != expected_uid:
+        raise StoreCorruptionError(
+            f"entry payload {payload_path.name!r} belongs to a different "
+            f"save of this store (the directory was replaced after load); "
+            f"reload the store"
+        )
+    if "name" in payload and payload["name"] != entry.name:
+        raise StoreCorruptionError(
+            f"entry payload {payload_path.name!r} holds entry "
+            f"{payload['name']!r}, not {entry.name!r}; payload files were "
+            f"swapped or the manifest was rewritten"
+        )
+    if (
+        expected_kind is not None
+        and isinstance(payload["synopsis"], dict)
+        and payload["synopsis"].get("kind") != expected_kind
+    ):
+        raise StoreCorruptionError(
+            f"entry payload {payload_path.name!r} holds a "
+            f"{payload['synopsis'].get('kind')!r} synopsis but the manifest "
+            f"expects {expected_kind!r}"
+        )
+    try:
+        synopsis = synopsis_from_dict(payload["synopsis"])
+        learner_state = payload.get("learner")
+        learner = (
+            StreamingHistogramLearner.from_state(learner_state)
+            if learner_state is not None
+            else None
+        )
+    except (KeyError, ValueError, TypeError, IndexError) as exc:
+        raise StoreCorruptionError(
+            f"invalid entry payload {payload_path.name!r}: {exc}"
+        ) from exc
+    if getattr(synopsis, "n", entry.result.n) != entry.result.n:
+        raise StoreCorruptionError(
+            f"entry payload {payload_path.name!r} disagrees with the "
+            f"manifest on n"
+        )
+    streaming = entry.frozen_meta is not None and entry.frozen_meta.get(
+        "streaming", False
+    )
+    if streaming and learner is None:
+        raise StoreCorruptionError(
+            f"entry payload {payload_path.name!r} is marked streaming but "
+            f"has no learner state"
+        )
+    entry.result.synopsis = synopsis
+    entry.learner = learner
+
+
+def _frozen_meta(record: Dict[str, Any], result: BuildResult) -> Dict[str, Any]:
+    """The metadata snapshot ``describe()`` serves before hydration."""
+    meta = result.describe()
+    meta["name"] = record["name"]
+    meta["version"] = int(record["version"])
+    meta["streaming"] = bool(record.get("streaming", False))
+    if meta["streaming"]:
+        meta["samples_seen"] = int(record.get("samples_seen", 0))
+    return meta
+
+
+def load_store(
+    path: Union[str, Path],
+    lazy: bool = True,
+    store_cls: type = SynopsisStore,
+) -> SynopsisStore:
+    """Load a store persisted by :func:`save_store`.
+
+    With ``lazy=True`` (the default) only the manifest is materialized;
+    each entry's payload hydrates on its first query, so a warm engine can
+    start serving a large store immediately.  Every payload file's
+    existence and zip integrity is still verified up front, so a truncated
+    or partially-deleted store fails here with
+    :exc:`StoreCorruptionError` rather than mid-query.  ``store_cls`` lets
+    :meth:`SynopsisStore.load` return subclass instances.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    raw_versions = manifest.get("last_versions") or {}
+    if not isinstance(raw_versions, dict):
+        raise StoreCorruptionError(f"invalid last_versions table in {path}")
+    try:
+        last_versions = {str(k): int(v) for k, v in raw_versions.items()}
+    except (TypeError, ValueError) as exc:
+        raise StoreCorruptionError(
+            f"invalid last_versions table in {path}: {exc}"
+        ) from exc
+    store = store_cls()
+    seen = set()
+    for record in manifest["entries"]:
+        try:
+            name = record["name"]
+            version = int(record["version"])
+            payload_name = record["payload"]
+            result = BuildResult.from_dict(record["result"])
+            built_at_samples = int(record.get("built_at_samples", 0))
+            frozen_meta = _frozen_meta(record, result)
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise StoreCorruptionError(
+                f"invalid manifest entry in {path}: {exc}"
+            ) from exc
+        if name in seen:
+            raise StoreCorruptionError(f"duplicate entry name {name!r} in {path}")
+        seen.add(name)
+        if not isinstance(payload_name, str) or Path(payload_name).name != payload_name:
+            # Confine payload reads to the store directory: no separators,
+            # no '..', no absolute paths.
+            raise StoreCorruptionError(
+                f"invalid entry payload name {payload_name!r} in {path}"
+            )
+        payload_path = path / payload_name
+        if not payload_path.is_file():
+            raise StoreCorruptionError(
+                f"store {path} is missing entry payload {payload_name!r}"
+            )
+        if not zipfile.is_zipfile(payload_path):
+            raise StoreCorruptionError(
+                f"entry payload {payload_name!r} in {path} is truncated or "
+                f"not an npz file"
+            )
+        entry = StoreEntry(
+            name=name,
+            result=result,
+            version=version,
+            learner=None,
+            built_at_samples=built_at_samples,
+            hydrator=lambda e, p=payload_path, k=record.get(
+                "synopsis_kind"
+            ), u=manifest.get("store_uid"): _hydrate_entry(e, p, k, u),
+            frozen_meta=frozen_meta,
+        )
+        if not lazy:
+            entry.hydrate()
+        store._adopt(entry, last_version=last_versions.get(name))
+    # Names that were removed after their last registration keep their
+    # version floor, so re-registering them never reissues a served version.
+    for name, last in last_versions.items():
+        if name not in store:
+            store._last_versions[name] = last
+    return store

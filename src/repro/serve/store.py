@@ -11,8 +11,8 @@ bumping the version so query-side caches invalidate exactly that entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -25,16 +25,46 @@ __all__ = ["StoreEntry", "SynopsisStore"]
 
 @dataclass
 class StoreEntry:
-    """One named synopsis plus build metadata and refresh plumbing."""
+    """One named synopsis plus build metadata and refresh plumbing.
+
+    An entry loaded lazily from a persisted store carries a ``hydrator``
+    callback instead of a materialized synopsis; the first access to
+    :attr:`synopsis` (i.e. the first query) invokes it to fill in
+    ``result.synopsis`` and, for streaming-backed entries, ``learner``.
+    Until then :meth:`describe` serves the metadata snapshot persisted in
+    the manifest, so ``summary()`` over a cold store reads no payloads.
+    """
 
     name: str
     result: BuildResult
     version: int = 0
     learner: Optional[StreamingHistogramLearner] = None
     built_at_samples: int = 0
+    hydrator: Optional[Callable[["StoreEntry"], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    frozen_meta: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def is_hydrated(self) -> bool:
+        return self.hydrator is None
+
+    def hydrate(self) -> None:
+        """Materialize a lazily-loaded payload (idempotent).
+
+        The hydrator is cleared only after it succeeds, so a corrupt
+        payload raises the same clear error on every access instead of
+        leaving a half-hydrated entry behind.
+        """
+        if self.hydrator is not None:
+            self.hydrator(self)
+            self.hydrator = None
 
     @property
     def synopsis(self):
+        self.hydrate()
         return self.result.synopsis
 
     @property
@@ -51,9 +81,17 @@ class StoreEntry:
 
     @property
     def is_streaming(self) -> bool:
+        if not self.is_hydrated and self.frozen_meta is not None:
+            return bool(self.frozen_meta.get("streaming", False))
         return self.learner is not None
 
     def describe(self) -> Dict[str, Any]:
+        if not self.is_hydrated and self.frozen_meta is not None:
+            # Copy the nested options too: callers may mutate the returned
+            # dict, and the frozen snapshot must stay pristine.
+            meta = dict(self.frozen_meta)
+            meta["options"] = dict(meta.get("options", {}))
+            return meta
         meta = self.result.describe()
         meta["name"] = self.name
         meta["version"] = self.version
@@ -138,6 +176,7 @@ class SynopsisStore:
     def refresh(self, name: str) -> StoreEntry:
         """Rebuild a streaming-backed entry from its learner's current state."""
         entry = self[name]
+        entry.hydrate()
         if entry.learner is None:
             raise ValueError(f"entry {name!r} is not backed by a stream")
         result = build_synopsis(
@@ -157,6 +196,7 @@ class SynopsisStore:
         hitting the cached prefix table.
         """
         entry = self[name]
+        entry.hydrate()
         if entry.learner is None:
             raise ValueError(f"entry {name!r} is not backed by a stream")
         entry.learner.extend(samples)
@@ -195,3 +235,37 @@ class SynopsisStore:
     def summary(self) -> List[Dict[str, Any]]:
         """Metadata for every entry (name, family, size, error, version...)."""
         return [entry.describe() for entry in self._entries.values()]
+
+    # ------------------------------------------------------------------ #
+    # Persistence (implementation in repro.serve.persistence)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> None:
+        """Persist the store to directory ``path`` (atomic replace).
+
+        See :func:`repro.serve.persistence.save_store`.
+        """
+        from .persistence import save_store
+
+        save_store(self, path)
+
+    @classmethod
+    def load(cls, path, lazy: bool = True) -> "SynopsisStore":
+        """Load a store persisted by :meth:`save`.
+
+        With ``lazy=True`` entry payloads hydrate on first query; see
+        :func:`repro.serve.persistence.load_store`.
+        """
+        from .persistence import load_store
+
+        return load_store(path, lazy=lazy, store_cls=cls)
+
+    def _adopt(self, entry: StoreEntry, last_version: Optional[int] = None) -> None:
+        """Install a fully-formed entry (the persistence load path).
+
+        Keeps the never-repeat version invariant: the recorded last version
+        for the name is at least the entry's own version.
+        """
+        self._entries[entry.name] = entry
+        floor = entry.version if last_version is None else int(last_version)
+        self._last_versions[entry.name] = max(entry.version, floor)

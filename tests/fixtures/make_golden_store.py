@@ -1,0 +1,94 @@
+"""Regenerate the golden persisted-store fixture.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/fixtures/make_golden_store.py
+
+Writes ``tests/fixtures/golden_store/`` (a persisted ``SynopsisStore``)
+and ``tests/fixtures/golden_expected.json`` (query answers recorded at
+generation time).  ``test_persistence.py::TestGoldenFixture`` asserts that
+current code loads the checked-in store into the same answers, guarding
+the on-disk schema against silent format drift — so only regenerate after
+a *deliberate* schema bump, and commit both files together.
+
+The input signal is exact rational arithmetic (no RNG, no libm), so the
+store's contents are reproducible bit-for-bit across platforms.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import QueryEngine, StreamingHistogramLearner, SynopsisStore
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+STORE_DIR = FIXTURE_DIR / "golden_store"
+EXPECTED_PATH = FIXTURE_DIR / "golden_expected.json"
+
+N = 64
+RANGES = [(0, 63), (5, 20), (32, 40)]
+CDF_POSITIONS = [0, 10, 31, 63]
+QUANTILE_LEVELS = [0.1, 0.25, 0.5, 0.9]
+
+
+def golden_signal() -> np.ndarray:
+    """A deterministic positive signal: exact in float64, no RNG."""
+    return ((np.arange(N) * 7919) % 97 + 1) / 97.0
+
+
+def golden_samples() -> np.ndarray:
+    """Deterministic sample positions for the streaming entry."""
+    return (np.arange(500) * 31) % N
+
+
+def build_store() -> SynopsisStore:
+    signal = golden_signal()
+    store = SynopsisStore()
+    store.register("merging", signal, family="merging", k=4)
+    store.register("wavelet", signal, family="wavelet", k=4)
+    store.register("poly", signal, family="poly", k=3, degree=2)
+    store.register("exact", signal, family="exact", k=1)
+    learner = StreamingHistogramLearner(n=N, k=3)
+    learner.extend(golden_samples())
+    store.register_stream("live", learner)
+    return store
+
+
+def record_answers(store: SynopsisStore) -> dict:
+    engine = QueryEngine(store)
+    answers = {}
+    for name in store.names():
+        a = np.asarray([r[0] for r in RANGES])
+        b = np.asarray([r[1] for r in RANGES])
+        per_entry = {
+            "range_sum": engine.range_sum(name, a, b).tolist(),
+            "point_mass": engine.point_mass(name, np.asarray(CDF_POSITIONS)).tolist(),
+            "cdf": engine.cdf(name, np.asarray(CDF_POSITIONS)).tolist(),
+            "quantile": engine.quantile(
+                name, np.asarray(QUANTILE_LEVELS)
+            ).tolist(),
+        }
+        answers[name] = per_entry
+    return answers
+
+
+def main() -> None:
+    store = build_store()
+    store.save(STORE_DIR)
+    expected = {
+        "ranges": RANGES,
+        "positions": CDF_POSITIONS,
+        "levels": QUANTILE_LEVELS,
+        "answers": record_answers(store),
+        "summary": store.summary(),
+    }
+    with open(EXPECTED_PATH, "w", encoding="utf-8") as handle:
+        json.dump(expected, handle, indent=1)
+    print(f"wrote {STORE_DIR} and {EXPECTED_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,24 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
-from repro import SparseFunction
+from repro import (
+    Histogram,
+    Partition,
+    PiecewisePolynomial,
+    SparseFunction,
+    fit_polynomial,
+    wavelet_synopsis,
+)
 
-__all__ = ["dense_arrays", "sparse_functions"]
+__all__ = [
+    "dense_arrays",
+    "histograms",
+    "piecewise_polynomials",
+    "positive_dense_arrays",
+    "sparse_functions",
+    "synopsis_objects",
+    "wavelet_synopses",
+]
 
 
 def dense_arrays(min_size: int = 1, max_size: int = 40):
@@ -24,6 +39,74 @@ def dense_arrays(min_size: int = 1, max_size: int = 40):
         min_size=min_size,
         max_size=max_size,
     ).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+def positive_dense_arrays(min_size: int = 1, max_size: int = 40):
+    """Dense strictly-positive float arrays (safe for cdf/quantile queries)."""
+    return st.lists(
+        st.floats(min_value=0.015625, max_value=10.0, allow_nan=False, width=32),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+@st.composite
+def _partitions(draw, n: int):
+    count = draw(st.integers(min_value=1, max_value=min(n, 6)))
+    rights = []
+    if count > 1:  # count >= 2 implies n >= 2, so [0, n-2] is non-empty
+        rights = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 2),
+                min_size=count - 1,
+                max_size=count - 1,
+                unique=True,
+            )
+        )
+    return Partition(n, np.asarray(sorted(rights) + [n - 1], dtype=np.int64))
+
+
+@st.composite
+def histograms(draw, max_n: int = 60):
+    """Random histograms: random partitions with random (any-sign) values."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    partition = draw(_partitions(n))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=32),
+            min_size=partition.num_intervals,
+            max_size=partition.num_intervals,
+        )
+    )
+    return Histogram(partition, np.asarray(values, dtype=np.float64))
+
+
+@st.composite
+def wavelet_synopses(draw, max_n: int = 40, max_budget: int = 10):
+    """Random B-term Haar synopses, including the non-power-of-two padded path."""
+    dense = draw(positive_dense_arrays(min_size=1, max_size=max_n))
+    budget = draw(st.integers(min_value=1, max_value=max_budget))
+    return wavelet_synopsis(dense, budget)
+
+
+@st.composite
+def piecewise_polynomials(draw, max_n: int = 50, max_degree: int = 3):
+    """Random piecewise polynomials: per-piece l2 fits of a random sparse q."""
+    q = draw(sparse_functions(max_n=max_n))
+    partition = draw(_partitions(q.n))
+    degree = draw(st.integers(min_value=0, max_value=max_degree))
+    fits = [fit_polynomial(q, a, b, degree) for a, b in partition]
+    return PiecewisePolynomial(q.n, fits)
+
+
+def synopsis_objects():
+    """One strategy covering every serializable synopsis family."""
+    return st.one_of(
+        histograms(),
+        wavelet_synopses(),
+        piecewise_polynomials(),
+        sparse_functions(),
+    )
 
 
 @st.composite
