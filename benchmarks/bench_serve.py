@@ -47,6 +47,13 @@ def _random_ranges(n: int, batch: int, seed: int = 1):
     return np.minimum(a, b), np.maximum(a, b)
 
 
+def _record_qps(benchmark, batch: int) -> None:
+    # benchmark.stats is None under --benchmark-disable (the CI smoke
+    # mode, which runs each benchmark once as a plain test).
+    if benchmark.stats:
+        benchmark.extra_info["qps"] = batch / benchmark.stats["mean"]
+
+
 @pytest.mark.parametrize("family", FAMILIES)
 @pytest.mark.parametrize("batch", BATCH_SIZES)
 def test_batched_range_sum(benchmark, engine, family, batch):
@@ -55,7 +62,7 @@ def test_batched_range_sum(benchmark, engine, family, batch):
     benchmark(lambda: engine.range_sum(family, a, b))
     benchmark.extra_info["family"] = family
     benchmark.extra_info["batch"] = batch
-    benchmark.extra_info["qps"] = batch / benchmark.stats["mean"]
+    _record_qps(benchmark, batch)
 
 
 @pytest.mark.parametrize("family", FAMILIES)
@@ -64,7 +71,7 @@ def test_batched_quantile(benchmark, engine, family):
     qs = rng.random(LOOP_BATCH)
     benchmark(lambda: engine.quantile(family, qs))
     benchmark.extra_info["family"] = family
-    benchmark.extra_info["qps"] = LOOP_BATCH / benchmark.stats["mean"]
+    _record_qps(benchmark, LOOP_BATCH)
 
 
 def test_scalar_loop_baseline(benchmark, engine):
@@ -78,7 +85,7 @@ def test_scalar_loop_baseline(benchmark, engine):
         ]
 
     benchmark(loop)
-    benchmark.extra_info["qps"] = LOOP_BATCH / benchmark.stats["mean"]
+    _record_qps(benchmark, LOOP_BATCH)
 
 
 def test_batched_vs_loop(engine):

@@ -15,10 +15,14 @@ Serving commands:
 
 * ``query``       — build one synopsis, answer a batch of random queries
 * ``serve``       — register synopses (or load a persisted store with
-  ``--store-dir``) and answer queries from stdin
+  ``--store-dir``) and answer queries from stdin; ``--shards N`` serves
+  from N concurrent store/engine shards
 * ``save``        — build synopses and persist the store to a directory
-* ``load``        — load + fully validate a persisted store
-* ``inspect``     — print a persisted store's manifest (no payload reads)
+  (``--shards N`` writes the sharded layout)
+* ``load``        — load + fully validate a persisted store (plain or
+  sharded, detected automatically)
+* ``inspect``     — print a persisted store's manifest(s) — for sharded
+  stores the parent shard map plus every shard (no payload reads)
 
 Run ``python -m repro <command> --help`` for per-command options.
 """

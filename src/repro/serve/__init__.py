@@ -13,11 +13,20 @@ into a queryable system:
   manifest + per-entry npz payloads, atomic replace, lazy hydration
   (``store.save(path)`` / ``SynopsisStore.load(path)``).
 * :mod:`repro.serve.engine` — :class:`QueryEngine`, batched vectorized
-  ``range_sum`` / ``point_mass`` / ``cdf`` / ``quantile`` /
-  ``top_k_buckets`` evaluation over the store, backed by an LRU cache of
-  :class:`PrefixTable` prefix-integral tables.
+  ``range_sum`` / ``range_mean`` / ``point_mass`` / ``cdf`` /
+  ``quantile`` / ``top_k_buckets`` evaluation over the store, backed by
+  an LRU cache of :class:`PrefixTable` prefix-integral tables (per-entry
+  hit/miss accounting, thread-safe).
+* :mod:`repro.serve.router` — :class:`ShardRouter`, name-sharded serving
+  over N concurrent store/engine pairs with an explicit, persisted
+  :class:`ShardMap` (resharding is a deliberate migration).
+* :mod:`repro.serve.frontend` — :class:`AsyncServingFrontend`, an
+  asyncio front end fanning multi-name query batches out per shard on a
+  thread pool, coalescing same-entry requests, and reassembling answers
+  in request order with per-answer snapshot versions.
 * :mod:`repro.serve.cli` — the ``python -m repro serve`` / ``query`` /
-  ``save`` / ``load`` / ``inspect`` subcommands.
+  ``save`` / ``load`` / ``inspect`` subcommands (``--shards N`` shards
+  transparently).
 """
 
 from .builders import (
@@ -32,24 +41,43 @@ from .builders import (
     synopsis_to_dict,
 )
 from .engine import CacheStats, PrefixTable, QueryEngine
-from .persistence import StoreCorruptionError, load_store, save_store
+from .frontend import AsyncServingFrontend, QueryRequest, QueryResult
+from .persistence import (
+    StoreCorruptionError,
+    detect_store_format,
+    load_sharded,
+    load_store,
+    save_sharded,
+    save_store,
+)
+from .router import Shard, ShardMap, ShardRouter, stable_shard
 from .store import StoreEntry, SynopsisStore
 
 __all__ = [
+    "AsyncServingFrontend",
     "BuildResult",
     "CacheStats",
     "PrefixTable",
     "QueryEngine",
+    "QueryRequest",
+    "QueryResult",
+    "Shard",
+    "ShardMap",
+    "ShardRouter",
     "StoreCorruptionError",
     "StoreEntry",
     "SynopsisStore",
     "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "build_synopsis",
+    "detect_store_format",
+    "load_sharded",
     "load_store",
     "register_builder",
     "register_synopsis_codec",
+    "save_sharded",
     "save_store",
+    "stable_shard",
     "synopsis_from_dict",
     "synopsis_size",
     "synopsis_to_dict",

@@ -17,6 +17,7 @@ payload so a reloaded entry's ``describe()`` matches the pre-save one.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Type, Union
@@ -54,14 +55,22 @@ Builder = Callable[..., Synopsis]
 
 _BUILDERS: Dict[str, Builder] = {}
 
+# Both registries are process-global and shared by every store shard: a
+# family registered once is buildable and revivable on all shards, and
+# the check-then-insert below is atomic so two shards registering a
+# custom family concurrently cannot both succeed.  Lookups stay lock-free
+# (a dict read of an existing key is safe under the GIL).
+_REGISTRY_LOCK = threading.Lock()
+
 
 def register_builder(name: str) -> Callable[[Builder], Builder]:
     """Decorator registering ``fn`` as the builder for family ``name``."""
 
     def wrap(fn: Builder) -> Builder:
-        if name in _BUILDERS:
-            raise ValueError(f"builder {name!r} already registered")
-        _BUILDERS[name] = fn
+        with _REGISTRY_LOCK:
+            if name in _BUILDERS:
+                raise ValueError(f"builder {name!r} already registered")
+            _BUILDERS[name] = fn
         return fn
 
     return wrap
@@ -73,9 +82,10 @@ SYNOPSIS_CODECS: Dict[str, Type[Synopsis]] = {}
 def register_synopsis_codec(cls: Type[Synopsis]) -> Type[Synopsis]:
     """Register ``cls`` (with ``kind``/``to_dict``/``from_dict``) as a codec."""
     kind = cls.kind
-    if kind in SYNOPSIS_CODECS:
-        raise ValueError(f"synopsis codec {kind!r} already registered")
-    SYNOPSIS_CODECS[kind] = cls
+    with _REGISTRY_LOCK:
+        if kind in SYNOPSIS_CODECS:
+            raise ValueError(f"synopsis codec {kind!r} already registered")
+        SYNOPSIS_CODECS[kind] = cls
     return cls
 
 

@@ -4,29 +4,36 @@
 ``query`` is a one-shot batched benchmark: build one synopsis, fire a
 batch of random queries at it, print sample answers and throughput.
 
-``serve`` answers queries from stdin, one per line, over a store that is
-either built fresh (one synopsis per requested family over a dataset) or
-loaded from a persisted store directory (``--store-dir``, lazy)::
+``serve`` answers queries from stdin, one per line, over a sharded
+router that is either built fresh (one synopsis per requested family
+over a dataset, distributed over ``--shards`` shards) or loaded from a
+persisted store directory (``--store-dir``, lazy; plain and sharded
+directories are detected automatically)::
 
     range <name> <a> <b>      sum over the closed range [a, b]
+    mean <name> <a> <b>       average over the closed range [a, b]
     point <name> <x>          point mass at x
     cdf <name> <x>            P[X <= x]
     quantile <name> <q>       smallest x with CDF(x) >= q
     topk <name> <m>           the m heaviest buckets
     summary                   store metadata
-    cache                     engine cache statistics
+    inspect <name>            one entry: metadata, shard, cache counters
+    shards                    per-shard entry counts
+    cache                     cache statistics (global + per entry)
     save <dir>                persist the store (atomic replace)
     quit                      exit
 
 The persistence commands operate on store directories written by
-``SynopsisStore.save`` (JSON manifest + per-entry npz payloads):
+``SynopsisStore.save`` / ``ShardRouter.save`` (JSON manifests +
+per-entry npz payloads):
 
 * ``save`` builds one synopsis per family over a dataset and persists the
-  store to ``--store-dir``.
-* ``load`` fully hydrates a persisted store, warms an engine over it, and
-  prints each entry's metadata — a validation pass.
-* ``inspect`` prints the manifest (schema, entries) without reading any
-  payload.
+  store to ``--store-dir`` (``--shards N`` writes the sharded layout).
+* ``load`` fully hydrates a persisted store — plain or sharded — warms
+  the engines over it, and prints each entry's metadata: a validation
+  pass.  ``--shards N`` additionally asserts the shard count.
+* ``inspect`` prints the manifest(s) — for a sharded store, the parent
+  shard map plus every shard's entries — without reading any payload.
 
 Dataset-building commands use the Table 1 datasets (``hist``, ``poly``,
 ``dow``) or a synthetic step signal (``steps``, size ``--n``).
@@ -37,6 +44,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
 import numpy as np
@@ -44,7 +52,13 @@ import numpy as np
 from ..datasets import offline_datasets
 from .builders import SYNOPSIS_FAMILIES
 from .engine import QueryEngine
-from .persistence import StoreCorruptionError, read_manifest
+from .persistence import (
+    StoreCorruptionError,
+    detect_store_format,
+    read_manifest,
+    read_sharded_manifest,
+)
+from .router import ShardRouter
 from .store import SynopsisStore
 
 __all__ = ["inspect_main", "load_main", "query_main", "save_main", "serve_main"]
@@ -87,10 +101,25 @@ def _families_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_family_store(args: argparse.Namespace) -> SynopsisStore:
-    """One synopsis per requested family over the requested dataset."""
+def _shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the store by name over N store/engine pairs "
+        "(default: 1 when building fresh; a loaded store keeps its own "
+        "shard count, which this flag then merely asserts)",
+    )
+
+
+def _build_family_router(args: argparse.Namespace) -> ShardRouter:
+    """One synopsis per requested family, distributed over the shards."""
     values = _load_dataset(args.dataset, args.n, args.seed)
-    store = SynopsisStore()
+    shards = 1 if args.shards is None else args.shards
+    if shards < 1:
+        raise SystemExit(f"--shards must be positive, got {shards}")
+    router = ShardRouter(num_shards=shards)
     for family in args.families.split(","):
         family = family.strip()
         if not family:
@@ -100,15 +129,63 @@ def _build_family_store(args: argparse.Namespace) -> SynopsisStore:
                 f"unknown synopsis family {family!r}; "
                 f"available: {', '.join(sorted(SYNOPSIS_FAMILIES))}"
             )
-        store.register(family, values, family=family, k=args.k)
-    return store
+        router.register(family, values, family=family, k=args.k)
+    return router
 
 
-def _load_store_or_exit(store_dir: str, lazy: bool = True) -> SynopsisStore:
+def _detect_format_or_exit(store_dir: str) -> str:
     try:
-        return SynopsisStore.load(store_dir, lazy=lazy)
+        return detect_store_format(store_dir)
     except (FileNotFoundError, StoreCorruptionError) as exc:
         raise SystemExit(f"error: {exc}")
+
+
+def _load_router_or_exit(
+    store_dir: str,
+    lazy: bool = True,
+    expect_shards: Optional[int] = None,
+    cache_size: Optional[int] = None,
+    layout: Optional[str] = None,
+) -> ShardRouter:
+    """Load a plain or sharded store directory as a router, transparently.
+
+    Pass ``layout`` when the caller already detected the store format, so
+    one command reads the directory under a single consistent detection
+    (a concurrent save swapping the directory between two detects would
+    otherwise fail with a confusing layout mismatch).
+    """
+    if layout is None:
+        layout = _detect_format_or_exit(store_dir)
+    try:
+        if layout == "sharded":
+            router = ShardRouter.load(
+                store_dir,
+                lazy=lazy,
+                **({} if cache_size is None else {"cache_size": cache_size}),
+            )
+        else:
+            store = SynopsisStore.load(store_dir, lazy=lazy)
+            router = ShardRouter.from_stores(
+                [store],
+                **({} if cache_size is None else {"cache_size": cache_size}),
+            )
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        raise SystemExit(f"error: {exc}")
+    if expect_shards is not None and router.num_shards != expect_shards:
+        raise SystemExit(
+            f"error: {store_dir} holds {router.num_shards} shard(s), "
+            f"--shards asked for {expect_shards}"
+        )
+    return router
+
+
+def _save_router(router: ShardRouter, target: str) -> None:
+    """Persist a router: a one-shard router round-trips as a plain store,
+    keeping single-shard deployments compatible with the unsharded layout."""
+    if router.num_shards == 1:
+        router.shards[0].store.save(target)
+    else:
+        router.save(target)
 
 
 def _summary_line(meta: dict) -> str:
@@ -117,6 +194,8 @@ def _summary_line(meta: dict) -> str:
         f"stored={meta['stored_numbers']} error={meta['error']:.6g} "
         f"version={meta['version']}"
     )
+    if "shard" in meta:
+        line += f" shard={meta['shard']}"
     if meta.get("streaming"):
         line += f" streaming samples={meta.get('samples_seen', 0)}"
     return line
@@ -134,7 +213,7 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--kind",
         default="range_sum",
-        choices=["range_sum", "point_mass", "cdf", "quantile"],
+        choices=["range_sum", "range_mean", "point_mass", "cdf", "quantile"],
     )
     parser.add_argument("--num-queries", type=int, default=10_000)
     parser.add_argument("--show", type=int, default=5, help="answers to print")
@@ -147,11 +226,12 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
 
     rng = np.random.default_rng(args.seed + 1)
     n = entry.result.n
-    if args.kind == "range_sum":
+    if args.kind in ("range_sum", "range_mean"):
         a = rng.integers(0, n, args.num_queries)
         b = rng.integers(0, n, args.num_queries)
         a, b = np.minimum(a, b), np.maximum(a, b)
-        run = lambda: engine.range_sum(args.dataset, a, b)
+        method = getattr(engine, args.kind)
+        run = lambda: method(args.dataset, a, b)
     elif args.kind == "point_mass":
         x = rng.integers(0, n, args.num_queries)
         run = lambda: engine.point_mass(args.dataset, x)
@@ -191,39 +271,58 @@ def _print_answer(out, value) -> None:
         print(value, file=out)
 
 
+def _print_cache_info(out, info: dict) -> None:
+    print(
+        f"cache: hits={info['hits']} misses={info['misses']} "
+        f"evictions={info['evictions']} size={info['size']} "
+        f"capacity={info['capacity']}",
+        file=out,
+    )
+    for name, stats in info.get("entries", {}).items():
+        print(
+            f"  {name}: hits={stats['hits']} misses={stats['misses']} "
+            f"evictions={stats['evictions']}",
+            file=out,
+        )
+
+
 def serve_main(
     argv: Optional[Sequence[str]] = None,
     stdin: Optional[TextIO] = None,
     stdout: Optional[TextIO] = None,
 ) -> int:
-    """Interactive serving loop over a store of synopses (stdin protocol)."""
+    """Interactive serving loop over a (sharded) store of synopses."""
     parser = argparse.ArgumentParser(
         prog="python -m repro serve", description=serve_main.__doc__
     )
     _dataset_arguments(parser)
     _families_argument(parser)
+    _shards_argument(parser)
     parser.add_argument(
         "--store-dir",
         default=None,
-        help="serve a persisted store directory (lazy) instead of building "
-        "synopses from --dataset/--families",
+        help="serve a persisted store directory (lazy; plain or sharded, "
+        "detected automatically) instead of building synopses from "
+        "--dataset/--families",
     )
     args = parser.parse_args(argv)
     src = sys.stdin if stdin is None else stdin
     out = sys.stdout if stdout is None else stdout
 
     if args.store_dir is not None:
-        store = _load_store_or_exit(args.store_dir, lazy=True)
+        router = _load_router_or_exit(
+            args.store_dir, lazy=True, expect_shards=args.shards
+        )
         source = f"store {args.store_dir!r}"
     else:
-        store = _build_family_store(args)
+        router = _build_family_router(args)
         source = f"{args.dataset!r}"
-    engine = QueryEngine(store)
 
     print(
-        f"serving {len(store)} synopses of {source} "
-        f"({', '.join(store.names())}); commands: range point cdf quantile "
-        f"topk summary cache save quit",
+        f"serving {len(router)} synopses of {source} on "
+        f"{router.num_shards} shard(s) ({', '.join(router.names())}); "
+        f"commands: range mean point cdf quantile topk summary inspect "
+        f"shards cache save quit",
         file=out,
     )
     for line in src:
@@ -235,28 +334,47 @@ def serve_main(
             if cmd in {"quit", "exit"}:
                 break
             elif cmd == "summary":
-                for meta in store.summary():
+                for meta in router.summary():
                     print(_summary_line(meta), file=out)
             elif cmd == "save":
-                store.save(words[1])
-                print(f"saved {len(store)} entries to {words[1]}", file=out)
+                _save_router(router, words[1])
+                print(f"saved {len(router)} entries to {words[1]}", file=out)
             elif cmd == "cache":
-                print(engine.cache_info(), file=out)
+                _print_cache_info(out, router.cache_info())
+            elif cmd == "inspect":
+                meta = router.describe(words[1])
+                print(_summary_line(meta), file=out)
+                stats = router.entry_cache_info(words[1])
+                print(
+                    f"  cache: hits={stats['hits']} misses={stats['misses']} "
+                    f"evictions={stats['evictions']}",
+                    file=out,
+                )
+            elif cmd == "shards":
+                for shard in router.shards:
+                    print(
+                        f"shard {shard.index}: {len(shard.store)} entries "
+                        f"({', '.join(shard.store.names()) or '-'})",
+                        file=out,
+                    )
             elif cmd == "range":
                 name, a, b = words[1], int(words[2]), int(words[3])
-                _print_answer(out, engine.range_sum(name, a, b))
+                _print_answer(out, router.range_sum(name, a, b))
+            elif cmd == "mean":
+                name, a, b = words[1], int(words[2]), int(words[3])
+                _print_answer(out, router.range_mean(name, a, b))
             elif cmd == "point":
                 name, x = words[1], int(words[2])
-                _print_answer(out, engine.point_mass(name, x))
+                _print_answer(out, router.point_mass(name, x))
             elif cmd == "cdf":
                 name, x = words[1], int(words[2])
-                _print_answer(out, engine.cdf(name, x))
+                _print_answer(out, router.cdf(name, x))
             elif cmd == "quantile":
                 name, q = words[1], float(words[2])
-                _print_answer(out, engine.quantile(name, q))
+                _print_answer(out, router.quantile(name, q))
             elif cmd == "topk":
                 name, m = words[1], int(words[2])
-                for left, right, mass in engine.top_k_buckets(name, m):
+                for left, right, mass in router.top_k_buckets(name, m):
                     print(f"[{left}, {right}] mass={mass:.12g}", file=out)
             else:
                 print(f"unknown command {cmd!r}", file=out)
@@ -278,17 +396,19 @@ def save_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _dataset_arguments(parser)
     _families_argument(parser)
+    _shards_argument(parser)
     parser.add_argument("--store-dir", required=True, help="output store directory")
     args = parser.parse_args(argv)
 
-    store = _build_family_store(args)
+    router = _build_family_router(args)
     try:
-        store.save(args.store_dir)
+        _save_router(router, args.store_dir)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
-    for meta in store.summary():
+    for meta in router.summary():
         print(_summary_line(meta))
-    print(f"saved {len(store)} entries to {args.store_dir}")
+    layout = f" across {router.num_shards} shards" if router.num_shards > 1 else ""
+    print(f"saved {len(router)} entries to {args.store_dir}{layout}")
     return 0
 
 
@@ -298,38 +418,42 @@ def load_main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro load", description=load_main.__doc__
     )
     parser.add_argument("store_dir", help="store directory to load")
+    _shards_argument(parser)
     args = parser.parse_args(argv)
 
-    store = _load_store_or_exit(args.store_dir, lazy=False)
-    engine = QueryEngine(store, cache_size=max(len(store), 1))
+    # Size each shard's cache to the store so the validation pass keeps
+    # every table warm, however many entries one shard holds.
+    layout = _detect_format_or_exit(args.store_dir)
     try:
-        tables = engine.warm()
+        if layout == "sharded":
+            parent = read_sharded_manifest(args.store_dir)
+            entry_count = len(parent["shard_map"].get("assignments", {}))
+        else:
+            entry_count = len(read_manifest(args.store_dir)["entries"])
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        raise SystemExit(f"error: {exc}")
+    router = _load_router_or_exit(
+        args.store_dir,
+        lazy=False,
+        expect_shards=args.shards,
+        cache_size=max(entry_count, 1),
+        layout=layout,
+    )
+    try:
+        tables = router.warm()
     except (StoreCorruptionError, ValueError, TypeError) as exc:
         raise SystemExit(f"error: {exc}")
-    for meta in store.summary():
-        print(_summary_line(meta))
-    print(f"loaded {len(store)} entries, {tables} prefix tables warm")
+    for name in router.names():
+        print(_summary_line(router.describe(name)))
+    print(
+        f"loaded {len(router)} entries on {router.num_shards} shard(s), "
+        f"{tables} prefix tables warm"
+    )
     return 0
 
 
-def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
-    """Print a persisted store's manifest without reading any payload."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro inspect", description=inspect_main.__doc__
-    )
-    parser.add_argument("store_dir", help="store directory to inspect")
-    args = parser.parse_args(argv)
-
-    try:
-        manifest = read_manifest(args.store_dir)
-    except (FileNotFoundError, StoreCorruptionError) as exc:
-        raise SystemExit(f"error: {exc}")
-    entries = manifest["entries"]
-    print(
-        f"{manifest['format']} schema={manifest['schema']} "
-        f"entries={len(entries)}"
-    )
-    for record in entries:
+def _print_manifest_entries(store_dir: str, manifest: dict) -> None:
+    for record in manifest["entries"]:
         try:
             result = record.get("result", {})
             line = (
@@ -343,7 +467,56 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
                 line += f" streaming samples={record.get('samples_seen', 0)}"
         except (AttributeError, TypeError, ValueError) as exc:
             raise SystemExit(
-                f"error: invalid manifest entry in {args.store_dir}: {exc}"
+                f"error: invalid manifest entry in {store_dir}: {exc}"
             )
         print(line)
+
+
+def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Print a persisted store's manifest(s) without reading any payload."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro inspect", description=inspect_main.__doc__
+    )
+    parser.add_argument("store_dir", help="store directory to inspect")
+    _shards_argument(parser)
+    args = parser.parse_args(argv)
+
+    layout = _detect_format_or_exit(args.store_dir)
+    try:
+        if layout == "sharded":
+            parent = read_sharded_manifest(args.store_dir)
+            if args.shards is not None and parent["num_shards"] != args.shards:
+                raise SystemExit(
+                    f"error: {args.store_dir} holds {parent['num_shards']} "
+                    f"shard(s), --shards asked for {args.shards}"
+                )
+            assignments = parent["shard_map"].get("assignments", {})
+            print(
+                f"{parent['format']} schema={parent['schema']} "
+                f"shards={parent['num_shards']} entries={len(assignments)}"
+            )
+            for name, shard in assignments.items():
+                print(f"map {name} -> shard {shard}")
+            for shard_dir in parent["shard_dirs"]:
+                shard_path = Path(args.store_dir) / shard_dir
+                manifest = read_manifest(shard_path)
+                print(
+                    f"{shard_dir}: schema={manifest['schema']} "
+                    f"entries={len(manifest['entries'])}"
+                )
+                _print_manifest_entries(str(shard_path), manifest)
+            return 0
+        if args.shards is not None and args.shards != 1:
+            raise SystemExit(
+                f"error: {args.store_dir} is an unsharded store, "
+                f"--shards asked for {args.shards}"
+            )
+        manifest = read_manifest(args.store_dir)
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(
+        f"{manifest['format']} schema={manifest['schema']} "
+        f"entries={len(manifest['entries'])}"
+    )
+    _print_manifest_entries(args.store_dir, manifest)
     return 0

@@ -13,13 +13,21 @@ of B Python-level synopsis evaluations.
 :class:`~repro.serve.store.SynopsisStore`, holding the tables in an LRU
 cache keyed by ``(entry name, entry version)`` so a streaming refresh
 invalidates exactly the entry that changed.
+
+The engine is thread-safe: cache bookkeeping runs under an internal lock
+and every table lookup goes through the store's atomic
+``snapshot(name)``, so concurrent queries against a shard being refreshed
+always observe a consistent ``(version, table)`` pair.  The numeric
+evaluation itself runs outside the lock — NumPy releases the GIL in the
+hot kernels, which is what lets per-shard thread pools scale.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -106,6 +114,21 @@ class PrefixTable:
         if np.any((aa < 0) | (bb >= self.n) | (aa > bb)):
             raise ValueError(f"ranges must satisfy 0 <= a <= b < {self.n}")
         out = self.integral(bb + 1) - self.integral(aa)
+        return float(out) if np.ndim(a) == 0 and np.ndim(b) == 0 else out
+
+    def range_mean(self, a: ArrayLike, b: ArrayLike) -> Union[float, np.ndarray]:
+        """Mean of ``f`` over closed ranges: ``range_sum(a, b) / (b - a + 1)``.
+
+        A closed range ``[a, b]`` with ``a <= b`` always covers
+        ``b - a + 1 >= 1`` positions, so the division is safe; the
+        zero-length edge (``a > b``, an empty range whose mean is 0/0)
+        is rejected up front by :meth:`range_sum`'s shared validation
+        instead of silently returning NaN.  A single-point range
+        ``a == b`` degenerates to the point mass.
+        """
+        sums = self.range_sum(a, b)
+        lengths = np.asarray(b, dtype=np.int64) - np.asarray(a, dtype=np.int64) + 1
+        out = sums / lengths.astype(np.float64)
         return float(out) if np.ndim(a) == 0 and np.ndim(b) == 0 else out
 
     def point_mass(self, x: ArrayLike) -> Union[float, np.ndarray]:
@@ -208,11 +231,24 @@ class PrefixTable:
 
 @dataclass
 class CacheStats:
-    """Counters for the engine's prefix-table cache."""
+    """Counters for the engine's prefix-table cache.
+
+    The engine keeps one engine-global instance plus one per entry name,
+    so cache behavior is reportable per entry (a hot entry hitting 99%
+    and a thrashing one evicting every query look identical in the
+    global numbers).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 class QueryEngine:
@@ -231,29 +267,74 @@ class QueryEngine:
         self.cache_size = int(cache_size)
         self._tables: "OrderedDict[Tuple[str, int], PrefixTable]" = OrderedDict()
         self.stats = CacheStats()
+        self._entry_stats: Dict[str, CacheStats] = {}
+        # Guards the LRU dict and both stats maps; snapshot hydration,
+        # table construction, and table *evaluation* all happen outside
+        # it, so concurrent queries only serialize on cache bookkeeping,
+        # never on I/O or NumPy work.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
 
+    def _stats_for(self, name: str) -> CacheStats:
+        stats = self._entry_stats.get(name)
+        if stats is None:
+            stats = self._entry_stats[name] = CacheStats()
+        return stats
+
     def table(self, name: str) -> PrefixTable:
         """The (cached) prefix table for store entry ``name``."""
-        entry = self.store[name]
-        key = (name, entry.version)
-        cached = self._tables.get(key)
-        if cached is not None:
-            self._tables.move_to_end(key)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        table = PrefixTable.from_synopsis(entry.synopsis)
-        # Drop tables for stale versions of the same entry immediately.
-        for old in [k for k in self._tables if k[0] == name]:
-            del self._tables[old]
-            self.stats.evictions += 1
-        self._tables[key] = table
-        while len(self._tables) > self.cache_size:
-            self._tables.popitem(last=False)
-            self.stats.evictions += 1
-        return table
+        return self.table_versioned(name)[1]
+
+    def table_versioned(self, name: str) -> Tuple[int, PrefixTable]:
+        """The entry's current ``(version, table)`` pair, atomically.
+
+        The pair comes from one atomic ``store.snapshot`` read, so the
+        returned table is guaranteed to have been built from the synopsis
+        that carried exactly that version — the consistency unit the
+        concurrent serving front end reports per answer.
+
+        The engine lock covers only cache bookkeeping; payload hydration
+        (inside ``snapshot``) and table construction run outside it, so a
+        miss on one entry never blocks a concurrent hit on another.  Two
+        threads missing on the same key may both build the table; the
+        second insert defers to the first, and both builds are counted as
+        the misses they genuinely were.
+        """
+        version, synopsis = self.store.snapshot(name)
+        key = (name, version)
+        with self._lock:
+            entry_stats = self._stats_for(name)
+            cached = self._tables.get(key)
+            if cached is not None:
+                self._tables.move_to_end(key)
+                self.stats.hits += 1
+                entry_stats.hits += 1
+                return version, cached
+            self.stats.misses += 1
+            entry_stats.misses += 1
+        table = PrefixTable.from_synopsis(synopsis)
+        with self._lock:
+            existing = self._tables.get(key)
+            if existing is not None:
+                return version, existing  # a racing build won; use its table
+            if any(k[0] == name and k[1] > version for k in self._tables):
+                # A refresh landed while we built: a fresher version is
+                # already cached, and no future snapshot will ask for ours
+                # again — answer from our consistent build but leave the
+                # cache to the newer table instead of clobbering it.
+                return version, table
+            # Drop tables for stale versions of the same entry immediately.
+            for old in [k for k in self._tables if k[0] == name]:
+                del self._tables[old]
+                self.stats.evictions += 1
+                entry_stats.evictions += 1
+            self._tables[key] = table
+            while len(self._tables) > self.cache_size:
+                evicted, _ = self._tables.popitem(last=False)
+                self.stats.evictions += 1
+                self._stats_for(evicted[0]).evictions += 1
+            return version, table
 
     def warm(self, names: Optional[List[str]] = None) -> int:
         """Prefetch prefix tables for ``names`` (default: every entry).
@@ -268,13 +349,25 @@ class QueryEngine:
         return len(self._tables)
 
     def cache_info(self) -> dict:
-        return {
-            "hits": self.stats.hits,
-            "misses": self.stats.misses,
-            "evictions": self.stats.evictions,
-            "size": len(self._tables),
-            "capacity": self.cache_size,
-        }
+        """Engine-global cache counters plus the per-entry breakdown."""
+        with self._lock:
+            return {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "size": len(self._tables),
+                "capacity": self.cache_size,
+                "entries": {
+                    name: stats.as_dict()
+                    for name, stats in self._entry_stats.items()
+                },
+            }
+
+    def entry_cache_info(self, name: str) -> Dict[str, int]:
+        """Hit/miss/eviction counters for one entry (zeros if never queried)."""
+        with self._lock:
+            stats = self._entry_stats.get(name)
+            return stats.as_dict() if stats is not None else CacheStats().as_dict()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -283,6 +376,10 @@ class QueryEngine:
     def range_sum(self, name: str, a: ArrayLike, b: ArrayLike):
         """Batched ``sum_{i in [a, b]}`` over closed ranges of entry ``name``."""
         return self.table(name).range_sum(a, b)
+
+    def range_mean(self, name: str, a: ArrayLike, b: ArrayLike):
+        """Batched mean over closed ranges ``[a, b]`` of entry ``name``."""
+        return self.table(name).range_mean(a, b)
 
     def point_mass(self, name: str, x: ArrayLike):
         """Batched point evaluation of entry ``name``."""

@@ -1,4 +1,5 @@
-"""Disk persistence for :class:`~repro.serve.store.SynopsisStore`.
+"""Disk persistence for :class:`~repro.serve.store.SynopsisStore` and
+sharded stores (:class:`~repro.serve.router.ShardRouter`).
 
 A persisted store is a directory::
 
@@ -7,6 +8,20 @@ A persisted store is a directory::
       entry-0000.npz    # one payload per entry: synopsis (+ learner) arrays
       entry-0001.npz
       ...
+
+A persisted *sharded* store is a parent directory whose manifest names
+the shard map and one ordinary store directory per shard::
+
+    sharded_dir/
+      manifest.json     # sharded format tag, num_shards, shard map, dirs
+      shard-0000/       # a regular store directory (manifest + payloads)
+      shard-0001/
+      ...
+
+so a shard is just a persisted store: :func:`load_sharded` revives each
+shard with the same lazy-hydration machinery as :func:`load_store`, and
+the parent manifest's explicit name-to-shard assignments make placement a
+persisted fact rather than a hash recomputation.
 
 The manifest carries everything ``summary()`` / ``describe()`` report —
 family, k, options, error, version, streaming counters — so a store loads
@@ -26,6 +41,7 @@ front and raises :exc:`StoreCorruptionError` — never a half-hydrated store.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -48,17 +64,25 @@ from .store import StoreEntry, SynopsisStore
 
 __all__ = [
     "MANIFEST_NAME",
+    "SHARDED_FORMAT",
+    "SHARDED_SCHEMA_VERSION",
     "STORE_FORMAT",
     "STORE_SCHEMA_VERSION",
     "StoreCorruptionError",
+    "detect_store_format",
+    "load_sharded",
     "load_store",
     "read_manifest",
+    "read_sharded_manifest",
+    "save_sharded",
     "save_store",
 ]
 
 MANIFEST_NAME = "manifest.json"
 STORE_FORMAT = "repro-synopsis-store"
 STORE_SCHEMA_VERSION = 1
+SHARDED_FORMAT = "repro-synopsis-store-sharded"
+SHARDED_SCHEMA_VERSION = 1
 
 
 class StoreCorruptionError(RuntimeError):
@@ -179,23 +203,8 @@ def _looks_like_store(path: Path) -> bool:
     return (path / MANIFEST_NAME).is_file()
 
 
-def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
-    """Persist ``store`` to directory ``path``, atomically replacing it.
-
-    All payloads and the manifest are written to a temporary sibling
-    directory first; only after every byte is on disk is the target swapped
-    in by rename, and any error during the swap rolls the previous store
-    back.  A failure mid-save therefore leaves the previous store at
-    ``path`` intact, except for a hard process kill inside the
-    two-rename swap window itself (microseconds; the previous store then
-    survives in a ``.<name>.old-*`` sibling).  Refuses to replace an
-    existing directory that is not a synopsis store (and not empty), so a
-    typo cannot clobber other data.
-
-    Lazily-loaded entries are hydrated as they are serialized, so saving a
-    loaded-but-unqueried store is a faithful copy.
-    """
-    path = Path(path)
+def _check_replace_target(path: Path) -> None:
+    """Refuse to replace anything that is not a synopsis store directory."""
     if path.exists():
         if not path.is_dir():
             raise ValueError(f"refusing to replace non-directory {path}")
@@ -204,44 +213,127 @@ def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
                 f"refusing to replace {path}: existing directory is not a "
                 f"synopsis store"
             )
-    path.parent.mkdir(parents=True, exist_ok=True)
 
-    token = uuid.uuid4().hex[:8]
-    # Each save gets a fresh uid, written into the manifest AND every
-    # payload: a lazy reader whose directory is replaced by a later save
-    # then fails hydration loudly instead of silently serving the new
-    # payloads under the old metadata.
+
+def _write_store_contents(store: SynopsisStore, target: Path) -> None:
+    """Write one store's payloads + manifest into ``target`` (no atomicity).
+
+    Callers own crash safety: ``target`` must be inside a temporary
+    directory that is atomically published afterwards.
+    """
     store_uid = uuid.uuid4().hex
+    entries = []
+    for index, name in enumerate(store.names()):
+        entry = store[name]
+        entry.hydrate()
+        payload_name = f"entry-{index:04d}.npz"
+        _write_payload(target / payload_name, _entry_payload(entry, store_uid))
+        entries.append(_manifest_entry(entry, payload_name))
+    manifest = {
+        "format": STORE_FORMAT,
+        "schema": STORE_SCHEMA_VERSION,
+        "store_uid": store_uid,
+        "entries": entries,
+        "last_versions": dict(store._last_versions),
+    }
+    with open(target / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+
+
+def _atomic_publish(tmp: Path, path: Path, token: str) -> None:
+    """Swap the fully-written ``tmp`` directory into place at ``path``.
+
+    Any error during the swap rolls the previous directory back, so a
+    failure leaves the previous store intact — except for a hard process
+    kill inside the two-rename window itself (microseconds; the previous
+    store then survives in a ``.<name>.old-*`` sibling).
+    """
+    if path.exists():
+        old = path.parent / f".{path.name}.old-{token}"
+        os.rename(path, old)
+        try:
+            os.rename(tmp, path)
+        except BaseException:
+            os.rename(old, path)  # roll the previous store back in
+            raise
+        shutil.rmtree(old)
+    else:
+        os.rename(tmp, path)
+
+
+def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
+    """Persist ``store`` to directory ``path``, atomically replacing it.
+
+    All payloads and the manifest are written to a temporary sibling
+    directory first; only after every byte is on disk is the target swapped
+    in by rename (see :func:`_atomic_publish`).  Refuses to replace an
+    existing directory that is not a synopsis store (and not empty), so a
+    typo cannot clobber other data.
+
+    Each save stamps a fresh ``store_uid`` into the manifest AND every
+    payload: a lazy reader whose directory is replaced by a later save
+    fails hydration loudly instead of silently serving the new payloads
+    under the old metadata.
+
+    Lazily-loaded entries are hydrated as they are serialized, so saving a
+    loaded-but-unqueried store is a faithful copy.
+    """
+    path = Path(path)
+    _check_replace_target(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    token = uuid.uuid4().hex[:8]
     tmp = path.parent / f".{path.name}.tmp-{token}"
     tmp.mkdir()
     try:
-        entries = []
-        for index, name in enumerate(store.names()):
-            entry = store[name]
-            entry.hydrate()
-            payload_name = f"entry-{index:04d}.npz"
-            _write_payload(tmp / payload_name, _entry_payload(entry, store_uid))
-            entries.append(_manifest_entry(entry, payload_name))
-        manifest = {
-            "format": STORE_FORMAT,
-            "schema": STORE_SCHEMA_VERSION,
-            "store_uid": store_uid,
-            "entries": entries,
-            "last_versions": dict(store._last_versions),
-        }
+        _write_store_contents(store, tmp)
+        _atomic_publish(tmp, path, token)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def save_sharded(router, path: Union[str, Path]) -> None:
+    """Persist a :class:`~repro.serve.router.ShardRouter` atomically.
+
+    Writes one ordinary store directory per shard plus a parent manifest
+    carrying the shard count and the explicit name-to-shard map, all into
+    a temporary sibling swapped in by rename — the whole sharded store
+    appears (or is replaced) as one atomic unit, with the same
+    crash-safety contract as :func:`save_store`.
+
+    Every shard's write lock is held (in shard order) for the duration of
+    the save, so the saved shards and the serialized shard map form one
+    point-in-time snapshot: a concurrent ``register`` cannot slip an
+    entry into the map after its shard directory was already written.
+    Queries are never blocked — only writers wait.
+    """
+    path = Path(path)
+    _check_replace_target(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    token = uuid.uuid4().hex[:8]
+    tmp = path.parent / f".{path.name}.tmp-{token}"
+    tmp.mkdir()
+    try:
+        with contextlib.ExitStack() as stack:
+            # Writers only ever hold one shard lock at a time, so taking
+            # them all in index order cannot deadlock against them.
+            for shard in router.shards:
+                stack.enter_context(shard.write_lock)
+            shard_dirs = []
+            for shard in router.shards:
+                shard_dir = f"shard-{shard.index:04d}"
+                (tmp / shard_dir).mkdir()
+                _write_store_contents(shard.store, tmp / shard_dir)
+                shard_dirs.append(shard_dir)
+            manifest = {
+                "format": SHARDED_FORMAT,
+                "schema": SHARDED_SCHEMA_VERSION,
+                "num_shards": router.num_shards,
+                "shard_dirs": shard_dirs,
+                "shard_map": router.shard_map.to_dict(),
+            }
         with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=1)
-        if path.exists():
-            old = path.parent / f".{path.name}.old-{token}"
-            os.rename(path, old)
-            try:
-                os.rename(tmp, path)
-            except BaseException:
-                os.rename(old, path)  # roll the previous store back in
-                raise
-            shutil.rmtree(old)
-        else:
-            os.rename(tmp, path)
+        _atomic_publish(tmp, path, token)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
@@ -251,9 +343,8 @@ def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
 # --------------------------------------------------------------------- #
 
 
-def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read and validate a store directory's manifest (no payload reads)."""
-    path = Path(path)
+def _read_raw_manifest(path: Path) -> Dict[str, Any]:
+    """Parse a directory's ``manifest.json`` with corruption wrapping."""
     manifest_path = path / MANIFEST_NAME
     if not path.is_dir() or not manifest_path.is_file():
         raise FileNotFoundError(f"no synopsis store at {path}")
@@ -264,7 +355,39 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
         raise StoreCorruptionError(
             f"unreadable store manifest {manifest_path}: {exc}"
         ) from exc
-    if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
+    if not isinstance(manifest, dict):
+        raise StoreCorruptionError(f"{manifest_path} is not a manifest object")
+    return manifest
+
+
+def detect_store_format(path: Union[str, Path]) -> str:
+    """``"store"`` or ``"sharded"``, from the directory's manifest tag.
+
+    Lets the CLI route ``load`` / ``inspect`` / ``serve --store-dir``
+    transparently without the operator naming the layout.
+    """
+    manifest = _read_raw_manifest(Path(path))
+    fmt = manifest.get("format")
+    if fmt == STORE_FORMAT:
+        return "store"
+    if fmt == SHARDED_FORMAT:
+        return "sharded"
+    raise StoreCorruptionError(
+        f"{Path(path) / MANIFEST_NAME} has unknown store format {fmt!r}"
+    )
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a store directory's manifest (no payload reads)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    manifest = _read_raw_manifest(path)
+    if manifest.get("format") == SHARDED_FORMAT:
+        raise StoreCorruptionError(
+            f"{path} is a sharded store; load it with load_sharded / "
+            f"ShardRouter.load"
+        )
+    if manifest.get("format") != STORE_FORMAT:
         raise StoreCorruptionError(
             f"{manifest_path} is not a {STORE_FORMAT!r} manifest"
         )
@@ -434,3 +557,98 @@ def load_store(
         if name not in store:
             store._last_versions[name] = last
     return store
+
+
+# --------------------------------------------------------------------- #
+# Sharded stores
+# --------------------------------------------------------------------- #
+
+
+def read_sharded_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a sharded store's parent manifest (no shard reads)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    manifest = _read_raw_manifest(path)
+    if manifest.get("format") == STORE_FORMAT:
+        raise StoreCorruptionError(
+            f"{path} is an unsharded store; load it with load_store / "
+            f"SynopsisStore.load"
+        )
+    if manifest.get("format") != SHARDED_FORMAT:
+        raise StoreCorruptionError(
+            f"{manifest_path} is not a {SHARDED_FORMAT!r} manifest"
+        )
+    schema = manifest.get("schema")
+    if not isinstance(schema, int) or schema < 1:
+        raise StoreCorruptionError(f"{manifest_path} has invalid schema {schema!r}")
+    if schema > SHARDED_SCHEMA_VERSION:
+        raise StoreCorruptionError(
+            f"sharded store schema {schema} is newer than supported schema "
+            f"{SHARDED_SCHEMA_VERSION}; upgrade the library to load it"
+        )
+    num_shards = manifest.get("num_shards")
+    shard_dirs = manifest.get("shard_dirs")
+    if not isinstance(num_shards, int) or num_shards < 1:
+        raise StoreCorruptionError(
+            f"{manifest_path} has invalid num_shards {num_shards!r}"
+        )
+    if not isinstance(shard_dirs, list) or len(shard_dirs) != num_shards:
+        raise StoreCorruptionError(
+            f"{manifest_path} names {len(shard_dirs) if isinstance(shard_dirs, list) else '??'} "
+            f"shard dirs for {num_shards} shards"
+        )
+    for shard_dir in shard_dirs:
+        if not isinstance(shard_dir, str) or Path(shard_dir).name != shard_dir:
+            # Confine shard reads to the parent directory, like payloads.
+            raise StoreCorruptionError(
+                f"invalid shard directory name {shard_dir!r} in {manifest_path}"
+            )
+    if not isinstance(manifest.get("shard_map"), dict):
+        raise StoreCorruptionError(f"{manifest_path} has no shard map")
+    return manifest
+
+
+def load_sharded(
+    path: Union[str, Path],
+    lazy: bool = True,
+    cache_size: int = 32,
+    router_cls: Optional[type] = None,
+):
+    """Load a sharded store persisted by :func:`save_sharded`.
+
+    Each shard directory loads through :func:`load_store` with the same
+    lazy-hydration semantics, and the parent manifest's explicit shard
+    map drives placement — loading never re-derives a name's shard from
+    the hash, so entries stay where they were saved even across library
+    versions.  Raises :exc:`StoreCorruptionError` when a shard directory
+    is missing, a shard holds an entry the map places elsewhere, or the
+    map names a shard out of range.
+    """
+    from .router import ShardMap, ShardRouter
+
+    path = Path(path)
+    manifest = read_sharded_manifest(path)
+    try:
+        shard_map = ShardMap.from_dict(manifest["shard_map"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreCorruptionError(f"invalid shard map in {path}: {exc}") from exc
+    if shard_map.num_shards != manifest["num_shards"]:
+        raise StoreCorruptionError(
+            f"shard map in {path} covers {shard_map.num_shards} shards, "
+            f"manifest says {manifest['num_shards']}"
+        )
+    stores = []
+    for shard_dir in manifest["shard_dirs"]:
+        shard_path = path / shard_dir
+        if not shard_path.is_dir():
+            raise StoreCorruptionError(
+                f"sharded store {path} is missing shard directory {shard_dir!r}"
+            )
+        stores.append(load_store(shard_path, lazy=lazy))
+    cls = ShardRouter if router_cls is None else router_cls
+    try:
+        return cls.from_stores(stores, shard_map=shard_map, cache_size=cache_size)
+    except ValueError as exc:
+        raise StoreCorruptionError(
+            f"inconsistent sharded store {path}: {exc}"
+        ) from exc

@@ -1,0 +1,456 @@
+"""Name-sharded serving: route entries across per-shard store/engine pairs.
+
+One :class:`~repro.serve.store.SynopsisStore` plus one
+:class:`~repro.serve.engine.QueryEngine` is a *shard*; a
+:class:`ShardRouter` owns N of them and routes every entry name to
+exactly one shard.  The assignment comes from a :class:`ShardMap` —
+stable hashing of the name for *new* registrations, but every assignment
+is recorded explicitly and persisted with the store, so loading a
+sharded store never re-derives placement from the hash: resharding is a
+deliberate migration (:meth:`ShardRouter.reshard`), not an accident of
+changing the shard count.
+
+The lock discipline that makes concurrent serving safe:
+
+* Queries take no router-level lock at all.  They go through the shard
+  engine's ``table_versioned``, which reads a consistent
+  ``(version, synopsis)`` snapshot under the store's internal lock.
+* Writes (``register`` / ``extend`` / ``refresh``) hold the target
+  shard's ``write_lock``, serializing multi-step read-modify-write
+  sequences per shard while leaving the other N-1 shards fully
+  concurrent.
+
+Each shard may be backed by its own persisted store directory (see
+``save_sharded`` / ``load_sharded`` in :mod:`repro.serve.persistence`);
+shard stores load lazily, so a shard hydrates only the entries it
+actually serves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.serialize import check_payload_tag
+from ..core.sparse import SparseFunction
+from ..sampling.streaming import StreamingHistogramLearner
+from .engine import PrefixTable, QueryEngine
+from .store import StoreEntry, SynopsisStore
+
+__all__ = ["Shard", "ShardMap", "ShardRouter", "stable_shard"]
+
+
+def stable_shard(name: str, num_shards: int) -> int:
+    """Deterministic shard index for ``name`` (stable across processes).
+
+    Python's builtin ``hash`` is salted per process, so placement must
+    come from a cryptographic digest of the UTF-8 name: the first 8 bytes
+    of its SHA-1, reduced mod the shard count.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    digest = hashlib.sha1(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardMap:
+    """Explicit name-to-shard assignments over a fixed shard count.
+
+    New names default to :func:`stable_shard`, but the chosen index is
+    recorded at assignment time and serialized with the store, so a
+    loaded map reproduces placement exactly even if the hash function or
+    shard count of a future version differs.  Assignments are sticky
+    across ``remove``: re-registering a name lands on its original shard,
+    matching the store's never-repeat version discipline.
+    """
+
+    kind = "shard_map"
+    schema_version = 1
+
+    def __init__(
+        self,
+        num_shards: int,
+        assignments: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self._assignments: Dict[str, int] = {}
+        for name, shard in (assignments or {}).items():
+            shard = int(shard)
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"assignment {name!r} -> {shard} is outside "
+                    f"[0, {self.num_shards})"
+                )
+            self._assignments[str(name)] = shard
+
+    def shard_of(self, name: str) -> int:
+        """The shard for ``name``: its recorded assignment, else the hash."""
+        existing = self._assignments.get(name)
+        return stable_shard(name, self.num_shards) if existing is None else existing
+
+    def assign(self, name: str) -> int:
+        """Record (and return) the shard assignment for ``name``."""
+        shard = self.shard_of(name)
+        self._assignments[name] = shard
+        return shard
+
+    def names(self) -> List[str]:
+        """Assigned names in assignment order (the router's global order)."""
+        return list(self._assignments)
+
+    def assignments(self) -> Dict[str, int]:
+        return dict(self._assignments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._assignments
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Type-tagged JSON payload (assignment order preserved)."""
+        return {
+            "kind": self.kind,
+            "schema": self.schema_version,
+            "num_shards": self.num_shards,
+            "assignments": dict(self._assignments),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ShardMap":
+        check_payload_tag(payload, cls)
+        assignments = payload.get("assignments", {})
+        if not isinstance(assignments, dict):
+            raise ValueError("shard map assignments must be a mapping")
+        return cls(int(payload["num_shards"]), assignments)
+
+
+@dataclass
+class Shard:
+    """One serving unit: a store, its engine, and the per-shard write lock."""
+
+    index: int
+    store: SynopsisStore
+    engine: QueryEngine
+    write_lock: threading.RLock = field(default_factory=threading.RLock)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+class ShardRouter:
+    """Route named synopses across N concurrent store/engine shards.
+
+    The router exposes the same registration and query surface as a
+    single ``(SynopsisStore, QueryEngine)`` pair — ``register``,
+    ``extend``, ``range_sum``, ``quantile``, ... — so callers (the CLI
+    serve loop, the async front end) are oblivious to the shard count; a
+    one-shard router is a drop-in replacement for the unsharded pair.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        cache_size: int = 32,
+        shard_map: Optional[ShardMap] = None,
+        stores: Optional[Sequence[SynopsisStore]] = None,
+    ) -> None:
+        if shard_map is None:
+            shard_map = ShardMap(num_shards)
+        elif shard_map.num_shards != num_shards:
+            raise ValueError(
+                f"shard map covers {shard_map.num_shards} shards, "
+                f"router was asked for {num_shards}"
+            )
+        if stores is not None and len(stores) != num_shards:
+            raise ValueError(
+                f"{len(stores)} stores provided for {num_shards} shards"
+            )
+        self.shard_map = shard_map
+        self.cache_size = int(cache_size)
+        self.shards: List[Shard] = [
+            self._make_shard(
+                index, SynopsisStore() if stores is None else stores[index]
+            )
+            for index in range(num_shards)
+        ]
+
+    def _make_shard(self, index: int, store: SynopsisStore) -> Shard:
+        return Shard(
+            index=index,
+            store=store,
+            engine=QueryEngine(store, cache_size=self.cache_size),
+        )
+
+    @classmethod
+    def from_stores(
+        cls,
+        stores: Sequence[SynopsisStore],
+        shard_map: Optional[ShardMap] = None,
+        cache_size: int = 32,
+    ) -> "ShardRouter":
+        """Adopt existing stores as shards (the persistence load path).
+
+        Without an explicit map, every name present in a store is
+        assigned to that store's shard, in shard-major order; with one,
+        each store's names must agree with the map's placement.
+        """
+        if not stores:
+            raise ValueError("at least one store is required")
+        router = cls(
+            len(stores),
+            cache_size=cache_size,
+            shard_map=shard_map,
+            stores=list(stores),
+        )
+        for index, store in enumerate(stores):
+            for name in store.names():
+                if shard_map is None:
+                    previous = router.shard_map._assignments.get(name)
+                    if previous is not None and previous != index:
+                        raise ValueError(
+                            f"entry {name!r} appears in both shard {previous} "
+                            f"and shard {index}"
+                        )
+                    router.shard_map._assignments[name] = index
+                elif router.shard_map.shard_of(name) != index:
+                    raise ValueError(
+                        f"entry {name!r} lives in shard {index} but the shard "
+                        f"map places it on shard "
+                        f"{router.shard_map.shard_of(name)}"
+                    )
+                else:
+                    router.shard_map.assign(name)
+        return router
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, name: str) -> Shard:
+        """The shard serving ``name`` (assignment recorded or hashed)."""
+        return self.shards[self.shard_map.shard_of(name)]
+
+    def group_by_shard(
+        self, names: Sequence[str]
+    ) -> Dict[int, List[str]]:
+        """Partition ``names`` by shard index (front-end fan-out helper)."""
+        groups: Dict[int, List[str]] = {}
+        for name in names:
+            groups.setdefault(self.shard_map.shard_of(name), []).append(name)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Registration and writes (serialized per shard)
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        data: Union[np.ndarray, SparseFunction],
+        family: str = "merging",
+        k: int = 8,
+        **options: Any,
+    ) -> StoreEntry:
+        # The map assignment happens under the shard's write lock, so a
+        # sharded save (which holds every write lock) can never observe a
+        # name in the map whose entry is not yet in its shard store.
+        shard = self.shards[self.shard_map.shard_of(name)]
+        with shard.write_lock:
+            self.shard_map.assign(name)
+            return shard.store.register(name, data, family=family, k=k, **options)
+
+    def register_stream(
+        self,
+        name: str,
+        learner: StreamingHistogramLearner,
+        family: str = "merging",
+        k: Optional[int] = None,
+        **options: Any,
+    ) -> StoreEntry:
+        shard = self.shards[self.shard_map.shard_of(name)]
+        with shard.write_lock:
+            self.shard_map.assign(name)
+            return shard.store.register_stream(
+                name, learner, family=family, k=k, **options
+            )
+
+    def extend(self, name: str, samples: np.ndarray) -> StoreEntry:
+        shard = self._shard_for_registered(name)
+        with shard.write_lock:
+            return shard.store.extend(name, samples)
+
+    def refresh(self, name: str) -> StoreEntry:
+        shard = self._shard_for_registered(name)
+        with shard.write_lock:
+            return shard.store.refresh(name)
+
+    def remove(self, name: str) -> None:
+        """Remove an entry (its shard assignment stays sticky)."""
+        shard = self._shard_for_registered(name)
+        with shard.write_lock:
+            shard.store.remove(name)
+
+    def _shard_for_registered(self, name: str) -> Shard:
+        shard = self.shard_of(name)
+        if name not in shard.store:
+            raise KeyError(
+                f"no synopsis named {name!r}; "
+                f"registered: {', '.join(self.names()) or '(none)'}"
+            )
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # Lookup and metadata
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shard_of(name).store
+
+    def __len__(self) -> int:
+        return sum(len(shard.store) for shard in self.shards)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __getitem__(self, name: str) -> StoreEntry:
+        return self._shard_for_registered(name).store[name]
+
+    def names(self) -> List[str]:
+        """Entry names in global registration order (across shards)."""
+        return [name for name in self.shard_map.names() if name in self]
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """Metadata for every entry, in global registration order."""
+        return [self[name].describe() for name in self.names()]
+
+    def describe(self, name: str) -> Dict[str, Any]:
+        """One entry's metadata plus its shard index."""
+        meta = self[name].describe()
+        meta["shard"] = self.shard_map.shard_of(name)
+        return meta
+
+    def warm(self, names: Optional[Sequence[str]] = None) -> int:
+        """Prefetch prefix tables shard by shard; returns tables resident
+        across the whole router (including shards this call didn't touch)."""
+        groups = self.group_by_shard(self.names() if names is None else list(names))
+        for index, group in groups.items():
+            self.shards[index].engine.warm(group)
+        return sum(shard.engine.cache_info()["size"] for shard in self.shards)
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Aggregated cache counters plus the per-shard breakdown."""
+        per_shard = [shard.engine.cache_info() for shard in self.shards]
+        entries: Dict[str, Dict[str, int]] = {}
+        for info in per_shard:
+            entries.update(info["entries"])
+        return {
+            "hits": sum(info["hits"] for info in per_shard),
+            "misses": sum(info["misses"] for info in per_shard),
+            "evictions": sum(info["evictions"] for info in per_shard),
+            "size": sum(info["size"] for info in per_shard),
+            "capacity": sum(info["capacity"] for info in per_shard),
+            "shards": per_shard,
+            "entries": entries,
+        }
+
+    def entry_cache_info(self, name: str) -> Dict[str, int]:
+        return self.shard_of(name).engine.entry_cache_info(name)
+
+    # ------------------------------------------------------------------ #
+    # Queries (thread-safe; no router-level locking)
+    # ------------------------------------------------------------------ #
+
+    def table_versioned(self, name: str) -> Tuple[int, PrefixTable]:
+        return self._shard_for_registered(name).engine.table_versioned(name)
+
+    def range_sum(self, name: str, a, b):
+        return self._shard_for_registered(name).engine.range_sum(name, a, b)
+
+    def range_mean(self, name: str, a, b):
+        return self._shard_for_registered(name).engine.range_mean(name, a, b)
+
+    def point_mass(self, name: str, x):
+        return self._shard_for_registered(name).engine.point_mass(name, x)
+
+    def cdf(self, name: str, x):
+        return self._shard_for_registered(name).engine.cdf(name, x)
+
+    def quantile(self, name: str, q):
+        return self._shard_for_registered(name).engine.quantile(name, q)
+
+    def top_k_buckets(self, name: str, m: int):
+        return self._shard_for_registered(name).engine.top_k_buckets(name, m)
+
+    # ------------------------------------------------------------------ #
+    # Resharding: a deliberate migration
+    # ------------------------------------------------------------------ #
+
+    def reshard(self, num_shards: int, cache_size: Optional[int] = None) -> "ShardRouter":
+        """Rebuild this router over ``num_shards`` shards.
+
+        Entries are *moved*, not rebuilt: each keeps its synopsis,
+        learner, version, and version floor, so engine caches of the new
+        router behave exactly as if the entries had always lived there.
+        Placement of every name is re-derived from the new shard count's
+        stable hash and recorded in a fresh map — the one place where
+        assignments legitimately change.
+        """
+        new = ShardRouter(
+            num_shards,
+            cache_size=self.cache_size if cache_size is None else cache_size,
+        )
+        for name in self.names():
+            source = self.shard_of(name)
+            with source.write_lock:
+                entry = source.store[name]
+                entry.hydrate()
+                floor = source.store._last_versions.get(name, entry.version)
+            target = new.shards[new.shard_map.assign(name)]
+            target.store._adopt(entry, last_version=floor)
+        # Removed names keep their sticky assignment and version floor, so
+        # re-registering them after the migration never reissues a served
+        # version either.
+        for name in self.shard_map.names():
+            if name in self:
+                continue
+            floor = self.shard_of(name).store._last_versions.get(name)
+            if floor is not None:
+                new.shards[new.shard_map.assign(name)].store._last_versions[
+                    name
+                ] = floor
+        return new
+
+    # ------------------------------------------------------------------ #
+    # Persistence (implementation in repro.serve.persistence)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> None:
+        """Persist as a sharded store directory (atomic replace).
+
+        See :func:`repro.serve.persistence.save_sharded`.
+        """
+        from .persistence import save_sharded
+
+        save_sharded(self, path)
+
+    @classmethod
+    def load(cls, path, lazy: bool = True, cache_size: int = 32) -> "ShardRouter":
+        """Load a directory persisted by :meth:`save` / ``save_sharded``.
+
+        Each shard store hydrates lazily (``lazy=True``), so a shard pays
+        deserialization only for the entries it actually serves.
+        """
+        from .persistence import load_sharded
+
+        return load_sharded(path, lazy=lazy, cache_size=cache_size, router_cls=cls)

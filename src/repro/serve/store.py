@@ -7,12 +7,24 @@ backed by a :class:`~repro.sampling.streaming.StreamingHistogramLearner`;
 absorbing samples through :meth:`SynopsisStore.extend` re-synopsizes the
 entry once the learner's refresh policy says the cached summary is stale,
 bumping the version so query-side caches invalidate exactly that entry.
+
+Thread-safety contract (the sharded serving architecture's per-shard lock
+discipline): every mutation of the registry and of an entry's
+``(result, version)`` pair happens under the store's internal lock, and
+readers take :meth:`SynopsisStore.snapshot` to observe a *consistent*
+``(version, synopsis)`` pair — a query can never see a half-bumped entry
+where the synopsis was swapped but the version was not (or vice versa).
+Writers that perform multi-step read-modify-write sequences (``extend``'s
+absorb-then-maybe-refresh) must additionally be serialized among
+themselves by an external per-shard write lock; the store lock alone only
+guarantees reader consistency.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -46,21 +58,28 @@ class StoreEntry:
     frozen_meta: Optional[Dict[str, Any]] = field(
         default=None, repr=False, compare=False
     )
+    _hydrate_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def is_hydrated(self) -> bool:
         return self.hydrator is None
 
     def hydrate(self) -> None:
-        """Materialize a lazily-loaded payload (idempotent).
+        """Materialize a lazily-loaded payload (idempotent, thread-safe).
 
         The hydrator is cleared only after it succeeds, so a corrupt
         payload raises the same clear error on every access instead of
-        leaving a half-hydrated entry behind.
+        leaving a half-hydrated entry behind.  The per-entry lock keeps two
+        concurrent first queries from both reading the payload.
         """
-        if self.hydrator is not None:
-            self.hydrator(self)
-            self.hydrator = None
+        if self.hydrator is None:
+            return
+        with self._hydrate_lock:
+            if self.hydrator is not None:
+                self.hydrator(self)
+                self.hydrator = None
 
     @property
     def synopsis(self):
@@ -110,6 +129,9 @@ class SynopsisStore:
         # (name, version) pairs must never repeat, or engine caches would
         # serve a stale table after remove-then-re-register.
         self._last_versions: Dict[str, int] = {}
+        # Guards _entries/_last_versions and every (result, version) swap;
+        # RLock so refresh() can run under a caller already holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -158,23 +180,31 @@ class SynopsisStore:
         result: BuildResult,
         learner: Optional[StreamingHistogramLearner],
     ) -> StoreEntry:
-        version = self._last_versions.get(name, -1) + 1
-        self._last_versions[name] = version
-        entry = StoreEntry(
-            name=name,
-            result=result,
-            version=version,
-            learner=learner,
-        )
-        self._entries[name] = entry
-        return entry
+        with self._lock:
+            version = self._last_versions.get(name, -1) + 1
+            self._last_versions[name] = version
+            entry = StoreEntry(
+                name=name,
+                result=result,
+                version=version,
+                learner=learner,
+            )
+            self._entries[name] = entry
+            return entry
 
     # ------------------------------------------------------------------ #
     # Streaming refresh
     # ------------------------------------------------------------------ #
 
     def refresh(self, name: str) -> StoreEntry:
-        """Rebuild a streaming-backed entry from its learner's current state."""
+        """Rebuild a streaming-backed entry from its learner's current state.
+
+        The (possibly expensive) synopsis build runs outside the store
+        lock — concurrent writers are serialized by the caller's per-shard
+        write lock — and the ``(result, version)`` swap is atomic under it,
+        so a concurrent :meth:`snapshot` sees either the old pair or the
+        new pair, never a half-bumped entry.
+        """
         entry = self[name]
         entry.hydrate()
         if entry.learner is None:
@@ -182,9 +212,10 @@ class SynopsisStore:
         result = build_synopsis(
             entry.learner.empirical(), entry.family, entry.k, **entry.options
         )
-        entry.result = result
-        entry.version = self._last_versions[name] = entry.version + 1
-        entry.built_at_samples = entry.learner.samples_seen
+        with self._lock:
+            entry.result = result
+            entry.version = self._last_versions[name] = entry.version + 1
+            entry.built_at_samples = entry.learner.samples_seen
         return entry
 
     def extend(self, name: str, samples: np.ndarray) -> StoreEntry:
@@ -230,11 +261,31 @@ class SynopsisStore:
         return list(self._entries)
 
     def remove(self, name: str) -> None:
-        del self._entries[name]
+        with self._lock:
+            del self._entries[name]
+
+    def snapshot(self, name: str) -> Tuple[int, Any]:
+        """A consistent ``(version, synopsis)`` pair for entry ``name``.
+
+        This is the query-side read primitive: the pair is read atomically
+        under the store lock, so a concurrent :meth:`refresh` can never
+        yield a version paired with the wrong synopsis.  Hydrates lazily
+        loaded entries as a side effect.
+        """
+        entry = self[name]
+        entry.hydrate()
+        with self._lock:
+            # Re-read through the registry: the entry may have been
+            # replaced by a re-register between lookup and lock.
+            entry = self[name]
+            entry.hydrate()  # idempotent; a replaced entry is already live
+            return entry.version, entry.result.synopsis
 
     def summary(self) -> List[Dict[str, Any]]:
         """Metadata for every entry (name, family, size, error, version...)."""
-        return [entry.describe() for entry in self._entries.values()]
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.describe() for entry in entries]
 
     # ------------------------------------------------------------------ #
     # Persistence (implementation in repro.serve.persistence)
@@ -266,6 +317,7 @@ class SynopsisStore:
         Keeps the never-repeat version invariant: the recorded last version
         for the name is at least the entry's own version.
         """
-        self._entries[entry.name] = entry
-        floor = entry.version if last_version is None else int(last_version)
-        self._last_versions[entry.name] = max(entry.version, floor)
+        with self._lock:
+            self._entries[entry.name] = entry
+            floor = entry.version if last_version is None else int(last_version)
+            self._last_versions[entry.name] = max(entry.version, floor)

@@ -1,18 +1,21 @@
-"""Regenerate the golden persisted-store fixture.
+"""Regenerate the golden persisted-store fixtures (plain and sharded).
 
 Run from the repo root::
 
     PYTHONPATH=src:tests python tests/fixtures/make_golden_store.py
 
 Writes ``tests/fixtures/golden_store/`` (a persisted ``SynopsisStore``)
-and ``tests/fixtures/golden_expected.json`` (query answers recorded at
-generation time).  ``test_persistence.py::TestGoldenFixture`` asserts that
-current code loads the checked-in store into the same answers, guarding
-the on-disk schema against silent format drift — so only regenerate after
-a *deliberate* schema bump, and commit both files together.
+with ``golden_expected.json``, plus ``golden_sharded_store/`` (the same
+entries persisted through a 2-shard ``ShardRouter``) with
+``golden_sharded_expected.json``.  ``test_persistence.py`` /
+``test_shard.py`` assert that current code loads the checked-in stores
+into the same answers, guarding both the per-store on-disk schema and
+the sharded parent manifest against silent format drift — so only
+regenerate after a *deliberate* schema bump, and commit all four
+fixtures together.
 
 The input signal is exact rational arithmetic (no RNG, no libm), so the
-store's contents are reproducible bit-for-bit across platforms.
+stores' contents are reproducible bit-for-bit across platforms.
 """
 
 from __future__ import annotations
@@ -22,11 +25,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import QueryEngine, StreamingHistogramLearner, SynopsisStore
+from repro import (
+    QueryEngine,
+    ShardRouter,
+    StreamingHistogramLearner,
+    SynopsisStore,
+)
 
 FIXTURE_DIR = Path(__file__).resolve().parent
 STORE_DIR = FIXTURE_DIR / "golden_store"
 EXPECTED_PATH = FIXTURE_DIR / "golden_expected.json"
+SHARDED_STORE_DIR = FIXTURE_DIR / "golden_sharded_store"
+SHARDED_EXPECTED_PATH = FIXTURE_DIR / "golden_sharded_expected.json"
+NUM_SHARDS = 2
 
 N = 64
 RANGES = [(0, 63), (5, 20), (32, 40)]
@@ -44,27 +55,46 @@ def golden_samples() -> np.ndarray:
     return (np.arange(500) * 31) % N
 
 
-def build_store() -> SynopsisStore:
+def _register_all(target) -> None:
+    """Register the golden entries into a store or router (same surface)."""
     signal = golden_signal()
-    store = SynopsisStore()
-    store.register("merging", signal, family="merging", k=4)
-    store.register("wavelet", signal, family="wavelet", k=4)
-    store.register("poly", signal, family="poly", k=3, degree=2)
-    store.register("exact", signal, family="exact", k=1)
+    target.register("merging", signal, family="merging", k=4)
+    target.register("wavelet", signal, family="wavelet", k=4)
+    target.register("poly", signal, family="poly", k=3, degree=2)
+    target.register("exact", signal, family="exact", k=1)
     learner = StreamingHistogramLearner(n=N, k=3)
     learner.extend(golden_samples())
-    store.register_stream("live", learner)
+    target.register_stream("live", learner)
+
+
+def build_store() -> SynopsisStore:
+    store = SynopsisStore()
+    _register_all(store)
     return store
 
 
-def record_answers(store: SynopsisStore) -> dict:
-    engine = QueryEngine(store)
+def build_router() -> ShardRouter:
+    # Every golden name happens to hash to shard 0 under 2 shards, so pin
+    # two entries to shard 1 explicitly: the fixture then exercises a
+    # genuinely multi-shard layout AND guards the "persisted assignments
+    # beat the hash" contract on load.
+    from repro import ShardMap
+
+    shard_map = ShardMap(NUM_SHARDS, {"wavelet": 1, "live": 1})
+    router = ShardRouter(num_shards=NUM_SHARDS, shard_map=shard_map)
+    _register_all(router)
+    return router
+
+
+def record_answers(engine) -> dict:
+    """Every query kind per entry (``engine`` is a QueryEngine or router)."""
     answers = {}
-    for name in store.names():
+    for name in engine.store.names() if hasattr(engine, "store") else engine.names():
         a = np.asarray([r[0] for r in RANGES])
         b = np.asarray([r[1] for r in RANGES])
         per_entry = {
             "range_sum": engine.range_sum(name, a, b).tolist(),
+            "range_mean": engine.range_mean(name, a, b).tolist(),
             "point_mass": engine.point_mass(name, np.asarray(CDF_POSITIONS)).tolist(),
             "cdf": engine.cdf(name, np.asarray(CDF_POSITIONS)).tolist(),
             "quantile": engine.quantile(
@@ -82,12 +112,27 @@ def main() -> None:
         "ranges": RANGES,
         "positions": CDF_POSITIONS,
         "levels": QUANTILE_LEVELS,
-        "answers": record_answers(store),
+        "answers": record_answers(QueryEngine(store)),
         "summary": store.summary(),
     }
     with open(EXPECTED_PATH, "w", encoding="utf-8") as handle:
         json.dump(expected, handle, indent=1)
     print(f"wrote {STORE_DIR} and {EXPECTED_PATH}")
+
+    router = build_router()
+    router.save(SHARDED_STORE_DIR)
+    sharded_expected = {
+        "ranges": RANGES,
+        "positions": CDF_POSITIONS,
+        "levels": QUANTILE_LEVELS,
+        "num_shards": NUM_SHARDS,
+        "shard_map": router.shard_map.assignments(),
+        "answers": record_answers(router),
+        "summary": router.summary(),
+    }
+    with open(SHARDED_EXPECTED_PATH, "w", encoding="utf-8") as handle:
+        json.dump(sharded_expected, handle, indent=1)
+    print(f"wrote {SHARDED_STORE_DIR} and {SHARDED_EXPECTED_PATH}")
 
 
 if __name__ == "__main__":

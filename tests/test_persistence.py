@@ -496,6 +496,7 @@ class TestGoldenFixture:
         for name, answers in expected["answers"].items():
             got = {
                 "range_sum": engine.range_sum(name, a, b),
+                "range_mean": engine.range_mean(name, a, b),
                 "point_mass": engine.point_mass(name, xs),
                 "cdf": engine.cdf(name, xs),
                 "quantile": engine.quantile(name, qs),

@@ -129,6 +129,24 @@ class TestQueriesMatchBruteForce:
             engine.range_sum(family, a, b), F[b + 1] - F[a], atol=1e-9
         )
 
+    def test_range_mean(self, family_engines, family):
+        store, engine = family_engines
+        F = dense_prefix(self.brute(store, family))
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 500, 2000)
+        b = rng.integers(0, 500, 2000)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        np.testing.assert_allclose(
+            engine.range_mean(family, a, b),
+            (F[b + 1] - F[a]) / (b - a + 1),
+            atol=1e-9,
+        )
+        # A single-point range degenerates to the point mass, exactly.
+        xs = rng.integers(0, 500, 100)
+        np.testing.assert_array_equal(
+            engine.range_mean(family, xs, xs), engine.point_mass(family, xs)
+        )
+
     def test_point_mass(self, family_engines, family):
         store, engine = family_engines
         dense = self.brute(store, family)
@@ -185,6 +203,17 @@ class TestQueryValidation:
             engine.point_mass("merging", 500)
         with pytest.raises(ValueError):
             engine.quantile("merging", 1.5)
+
+    def test_range_mean_rejects_empty_ranges(self, family_engines):
+        # The zero-length edge: an empty range (a > b) has no mean (0/0),
+        # so it must fail validation rather than return NaN.
+        _, engine = family_engines
+        with pytest.raises(ValueError, match="ranges must satisfy"):
+            engine.range_mean("merging", 10, 9)
+        with pytest.raises(ValueError, match="ranges must satisfy"):
+            engine.range_mean("merging", np.asarray([0, 7]), np.asarray([5, 6]))
+        out = engine.range_mean("merging", 3, 17)
+        assert isinstance(out, float) and np.isfinite(out)
 
     def test_unknown_name(self, family_engines):
         _, engine = family_engines
@@ -299,6 +328,70 @@ class TestCache:
         assert store["a"].version == 1
         assert engine.range_sum("a", 32, 63) == pytest.approx(0.0)
         assert engine.cache_info()["misses"] == 2
+
+    def test_per_entry_stats(self):
+        """Cache counters are attributable per entry, not just globally."""
+        store = SynopsisStore()
+        values = random_distribution(128)
+        for name in ("hot", "cold"):
+            store.register(name, values, family="merging", k=4)
+        engine = QueryEngine(store)
+        for _ in range(5):
+            engine.range_sum("hot", 0, 10)
+        engine.range_sum("cold", 0, 10)
+        info = engine.cache_info()
+        assert info["entries"]["hot"] == {"hits": 4, "misses": 1, "evictions": 0}
+        assert info["entries"]["cold"] == {"hits": 0, "misses": 1, "evictions": 0}
+        assert engine.entry_cache_info("hot")["hits"] == 4
+        assert engine.entry_cache_info("never-queried") == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+        # Global counters are exactly the per-entry sums.
+        assert info["hits"] == sum(s["hits"] for s in info["entries"].values())
+        assert info["misses"] == sum(s["misses"] for s in info["entries"].values())
+
+    def test_stale_racing_build_does_not_clobber_newer_table(self):
+        """Regression: a table built from a stale snapshot (a refresh
+        landed mid-build) must not evict the newer version's cached table."""
+        store = SynopsisStore()
+        values = random_distribution(128)
+        store.register("a", values, family="merging", k=4)
+        engine = QueryEngine(store)
+        stale_snapshot = store.snapshot("a")  # (version 0, old synopsis)
+        store.register("a", np.roll(values, 11), family="merging", k=4)
+        engine.range_sum("a", 0, 10)  # caches (a, 1)
+        # Emulate the losing thread finishing its stale build now.
+        original = store.snapshot
+        store.snapshot = lambda name: stale_snapshot
+        try:
+            version, table = engine.table_versioned("a")
+        finally:
+            store.snapshot = original
+        assert version == 0  # answered from its own consistent snapshot...
+        info = engine.cache_info()
+        assert info["size"] == 1  # ...but the cache still holds only (a, 1)
+        before = info["misses"]
+        engine.range_sum("a", 0, 10)  # v1 table survived: pure hit
+        assert engine.cache_info()["misses"] == before
+
+    def test_per_entry_evictions_attributed_to_victim(self):
+        store = SynopsisStore()
+        values = random_distribution(128)
+        for name in ("a", "b", "c"):
+            store.register(name, values, family="merging", k=4)
+        engine = QueryEngine(store, cache_size=2)
+        engine.range_sum("a", 0, 10)
+        engine.range_sum("b", 0, 10)
+        engine.range_sum("c", 0, 10)  # evicts a, the least recent
+        info = engine.cache_info()
+        assert info["entries"]["a"]["evictions"] == 1
+        assert info["entries"]["b"]["evictions"] == 0
+        # A version bump's stale-table eviction is charged to the entry too.
+        store.register("b", np.roll(values, 5), family="merging", k=4)
+        engine.range_sum("b", 0, 10)
+        assert engine.entry_cache_info("b")["evictions"] == 1
 
 
 # --------------------------------------------------------------------- #

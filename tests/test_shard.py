@@ -1,0 +1,898 @@
+"""Tests for sharded concurrent serving (repro.serve.router / frontend).
+
+Covers the shard map (stable hashing, persisted assignments beating the
+hash, sticky placement across remove), router/engine parity with the
+unsharded pair, the async front end (request-order reassembly,
+coalescing, per-request error isolation, snapshot versions), sharded
+persistence (parent manifest round trip bitwise-identical to the
+unsharded store, golden fixture, corruption), resharding as migration,
+and the concurrent refresh-while-query stress test (``-m slow``).
+"""
+
+import asyncio
+import io
+import json
+import shutil
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    AsyncServingFrontend,
+    QueryEngine,
+    QueryRequest,
+    ShardMap,
+    ShardRouter,
+    StoreCorruptionError,
+    StreamingHistogramLearner,
+    SynopsisStore,
+    load_sharded,
+    save_sharded,
+)
+from repro.__main__ import main
+from repro.serve.engine import PrefixTable
+from repro.serve.persistence import (
+    SHARDED_SCHEMA_VERSION,
+    detect_store_format,
+    read_sharded_manifest,
+)
+from repro.serve.router import stable_shard
+
+from test_persistence import FIXTURES
+
+
+def signal(n=240, seed=3):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(1.0, 0.5, n)) + 1e-6
+
+
+def populate(target, names, n=240):
+    """Register one merging synopsis per name into a store or router."""
+    for index, name in enumerate(names):
+        target.register(name, signal(n, seed=index), family="merging", k=5)
+
+
+NAMES = [f"series-{i}" for i in range(10)]
+
+
+# --------------------------------------------------------------------- #
+# Shard map
+# --------------------------------------------------------------------- #
+
+
+class TestShardMap:
+    def test_stable_hash_is_deterministic_and_spread(self):
+        assignments = [stable_shard(name, 4) for name in NAMES]
+        assert assignments == [stable_shard(name, 4) for name in NAMES]
+        assert all(0 <= a < 4 for a in assignments)
+        assert len(set(assignments)) > 1  # 10 names over 4 shards spread out
+
+    def test_assignments_persist_over_hash(self):
+        # An explicit assignment that disagrees with the hash must win:
+        # that is what makes resharding deliberate rather than accidental.
+        hashed = stable_shard("a", 4)
+        override = (hashed + 1) % 4
+        shard_map = ShardMap(4, {"a": override})
+        assert shard_map.shard_of("a") == override
+        clone = ShardMap.from_dict(json.loads(json.dumps(shard_map.to_dict())))
+        assert clone.shard_of("a") == override
+        assert clone.num_shards == 4
+
+    def test_assign_records(self):
+        shard_map = ShardMap(4)
+        assert "x" not in shard_map
+        index = shard_map.assign("x")
+        assert "x" in shard_map and shard_map.assignments() == {"x": index}
+        assert index == stable_shard("x", 4)
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ShardMap(2, {"a": 5})
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardMap(0)
+
+    def test_future_schema_rejected(self):
+        payload = ShardMap(2).to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            ShardMap.from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# Router: parity with the unsharded store/engine pair
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def pair():
+    """The same entries registered unsharded and over 4 shards."""
+    store = SynopsisStore()
+    populate(store, NAMES)
+    router = ShardRouter(num_shards=4)
+    populate(router, NAMES)
+    return QueryEngine(store), router
+
+
+class TestRouterParity:
+    def test_every_query_kind_identical(self, pair):
+        engine, router = pair
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 240, 100)
+        b = rng.integers(0, 240, 100)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        x = rng.integers(0, 240, 100)
+        q = rng.random(50)
+        for name in NAMES:
+            np.testing.assert_array_equal(
+                router.range_sum(name, a, b), engine.range_sum(name, a, b)
+            )
+            np.testing.assert_array_equal(
+                router.range_mean(name, a, b), engine.range_mean(name, a, b)
+            )
+            np.testing.assert_array_equal(
+                router.point_mass(name, x), engine.point_mass(name, x)
+            )
+            np.testing.assert_array_equal(router.cdf(name, x), engine.cdf(name, x))
+            np.testing.assert_array_equal(
+                router.quantile(name, q), engine.quantile(name, q)
+            )
+            assert router.top_k_buckets(name, 3) == engine.top_k_buckets(name, 3)
+
+    def test_names_keep_registration_order(self, pair):
+        _, router = pair
+        assert router.names() == NAMES
+        assert [m["name"] for m in router.summary()] == NAMES
+        assert len(router) == len(NAMES)
+        assert set(router) == set(NAMES)
+
+    def test_entries_actually_distributed(self, pair):
+        _, router = pair
+        sizes = [len(shard) for shard in router.shards]
+        assert sum(sizes) == len(NAMES)
+        assert sum(1 for size in sizes if size > 0) > 1
+
+    def test_describe_reports_shard(self, pair):
+        _, router = pair
+        for name in NAMES:
+            meta = router.describe(name)
+            assert meta["shard"] == router.shard_map.shard_of(name)
+            assert name in router.shards[meta["shard"]].store
+
+    def test_unknown_name(self, pair):
+        _, router = pair
+        with pytest.raises(KeyError, match="registered"):
+            router.range_sum("nope", 0, 1)
+        with pytest.raises(KeyError, match="registered"):
+            router.refresh("nope")
+
+    def test_remove_is_sticky(self, pair):
+        _, router = pair
+        name = NAMES[0]
+        home = router.shard_map.shard_of(name)
+        version = router[name].version
+        router.remove(name)
+        assert name not in router
+        assert router.names() == NAMES[1:]
+        router.register(name, signal(seed=99), family="merging", k=4)
+        assert router.shard_map.shard_of(name) == home  # same shard
+        assert router[name].version == version + 1  # never reissued
+
+    def test_streaming_entries_route(self):
+        router = ShardRouter(num_shards=3)
+        rng = np.random.default_rng(5)
+        learner = StreamingHistogramLearner(n=80, k=3)
+        learner.extend(rng.integers(0, 40, 400))
+        router.register_stream("live", learner)
+        before = router.cdf("live", 39)
+        assert before == pytest.approx(1.0, abs=1e-9)
+        router.extend("live", rng.integers(40, 80, 4000))  # forces refresh
+        assert router["live"].version == 1
+        assert router.cdf("live", 39) < 0.5
+
+    def test_cache_info_aggregates(self, pair):
+        _, router = pair
+        router.range_sum(NAMES[0], 0, 10)
+        router.range_sum(NAMES[0], 0, 10)
+        router.range_sum(NAMES[1], 0, 10)
+        info = router.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 2
+        assert info["entries"][NAMES[0]]["hits"] == 1
+        assert info["entries"][NAMES[1]]["misses"] == 1
+        assert len(info["shards"]) == 4
+        assert router.entry_cache_info(NAMES[0])["hits"] == 1
+
+    def test_warm(self, pair):
+        _, router = pair
+        assert router.warm() == len(NAMES)
+        assert router.cache_info()["misses"] == len(NAMES)
+        router.warm()
+        assert router.cache_info()["hits"] == len(NAMES)
+
+    def test_shard_map_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shard map covers"):
+            ShardRouter(num_shards=3, shard_map=ShardMap(2))
+
+    def test_from_stores_validates_placement(self):
+        # Map says shard 0, but the entry lives in store 1 -> rejected.
+        store = SynopsisStore()
+        store.register("a", signal(), family="merging", k=3)
+        shard_map = ShardMap(2, {"a": 0})
+        with pytest.raises(ValueError, match="shard map places"):
+            ShardRouter.from_stores([SynopsisStore(), store], shard_map=shard_map)
+        # Without a map, placement is adopted from where entries live.
+        adopted = ShardRouter.from_stores([SynopsisStore(), store])
+        assert adopted.shard_map.shard_of("a") == 1
+        assert adopted.range_sum("a", 0, 10) == pytest.approx(
+            QueryEngine(store).range_sum("a", 0, 10), abs=0.0
+        )
+
+
+class TestReshard:
+    def test_reshard_preserves_entries_and_versions(self, pair):
+        engine, router = pair
+        router.register(NAMES[0], signal(seed=42), family="merging", k=4)
+        assert router[NAMES[0]].version == 1
+        wide = router.reshard(8)
+        assert wide.num_shards == 8
+        assert wide.names() == router.names()
+        assert wide[NAMES[0]].version == 1
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 240, 50)
+        b = rng.integers(0, 240, 50)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        for name in NAMES:
+            np.testing.assert_array_equal(
+                wide.range_sum(name, a, b), router.range_sum(name, a, b)
+            )
+
+    def test_reshard_to_one_collapses(self, pair):
+        _, router = pair
+        single = router.reshard(1)
+        assert single.num_shards == 1
+        assert len(single.shards[0].store) == len(NAMES)
+
+    def test_reshard_keeps_version_floor(self, pair):
+        _, router = pair
+        router.remove(NAMES[2])
+        narrow = router.reshard(2)
+        entry = narrow.register(NAMES[2], signal(seed=7), family="merging", k=4)
+        assert entry.version == 1  # floor survived the migration
+
+
+# --------------------------------------------------------------------- #
+# Async front end
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def frontend(pair):
+    _, router = pair
+    with AsyncServingFrontend(router) as fe:
+        yield fe
+
+
+class TestFrontend:
+    def test_results_in_request_order_and_match_engine(self, pair, frontend):
+        engine, _ = pair
+        rng = np.random.default_rng(2)
+        requests = []
+        expected = []
+        for i in range(60):
+            name = NAMES[int(rng.integers(len(NAMES)))]
+            a = rng.integers(0, 240, 16)
+            b = rng.integers(0, 240, 16)
+            a, b = np.minimum(a, b), np.maximum(a, b)
+            requests.append(QueryRequest("range_sum", name, (a, b)))
+            expected.append(engine.range_sum(name, a, b))
+        results = frontend.serve(requests)
+        assert [r.index for r in results] == list(range(60))
+        for result, want in zip(results, expected):
+            assert result.ok and result.version == 0
+            np.testing.assert_array_equal(result.value, want)
+
+    def test_all_kinds(self, pair, frontend):
+        engine, _ = pair
+        name = NAMES[0]
+        x = np.arange(0, 240, 7)
+        q = np.linspace(0.0, 1.0, 11)
+        requests = [
+            QueryRequest("range_sum", name, (0, 239)),
+            QueryRequest("range_mean", name, (x, x)),
+            QueryRequest("point_mass", name, (x,)),
+            QueryRequest("cdf", name, (x,)),
+            QueryRequest("quantile", name, (q,)),
+            QueryRequest("top_k", name, (3,)),
+        ]
+        results = frontend.serve(requests)
+        assert all(r.ok for r in results)
+        assert results[0].value == pytest.approx(
+            engine.range_sum(name, 0, 239), abs=0.0
+        )
+        np.testing.assert_array_equal(results[1].value, engine.point_mass(name, x))
+        np.testing.assert_array_equal(results[2].value, engine.point_mass(name, x))
+        np.testing.assert_array_equal(results[3].value, engine.cdf(name, x))
+        np.testing.assert_array_equal(results[4].value, engine.quantile(name, q))
+        assert results[5].value == engine.top_k_buckets(name, 3)
+
+    def test_scalar_requests_stay_scalar(self, frontend, pair):
+        engine, _ = pair
+        results = frontend.serve(
+            [
+                QueryRequest("range_sum", NAMES[0], (3, 17)),
+                QueryRequest("range_sum", NAMES[0], (5, 5)),
+                QueryRequest("quantile", NAMES[0], (0.5,)),
+            ]
+        )
+        assert isinstance(results[0].value, float)
+        assert results[0].value == engine.range_sum(NAMES[0], 3, 17)
+        assert isinstance(results[2].value, int)
+        assert results[2].value == engine.quantile(NAMES[0], 0.5)
+
+    def test_coalescing_matches_individual(self, pair):
+        engine, router = pair
+        rng = np.random.default_rng(3)
+        requests = []
+        for _ in range(40):  # many same-name groups
+            name = NAMES[int(rng.integers(3))]
+            a = rng.integers(0, 240, 8)
+            b = rng.integers(0, 240, 8)
+            a, b = np.minimum(a, b), np.maximum(a, b)
+            requests.append(QueryRequest("range_sum", name, (a, b)))
+        with AsyncServingFrontend(router, coalesce=True) as on, \
+                AsyncServingFrontend(router, coalesce=False) as off:
+            merged = on.serve(requests)
+            individual = off.serve(requests)
+        for lhs, rhs in zip(merged, individual):
+            np.testing.assert_array_equal(lhs.value, rhs.value)
+            assert lhs.version == rhs.version
+
+    def test_coalescing_mixed_shape_args_do_not_cross(self, pair):
+        """Regression: a request with (array, scalar) or mismatched-length
+        args must broadcast within itself before stacking, or neighbors'
+        a/b pairs silently cross in the coalesced call."""
+        engine, router = pair
+        name = NAMES[0]
+        requests = [
+            QueryRequest("range_sum", name, (np.asarray([0, 1]), 5)),
+            QueryRequest("range_sum", name, (np.asarray([10]), np.asarray([20, 30]))),
+            QueryRequest("range_sum", name, (2, np.asarray([4, 9, 14]))),
+        ]
+        with AsyncServingFrontend(router, coalesce=True) as fe:
+            results = fe.serve(requests)
+        assert all(r.ok for r in results)
+        np.testing.assert_array_equal(
+            results[0].value, engine.range_sum(name, np.asarray([0, 1]), 5)
+        )
+        np.testing.assert_array_equal(
+            results[1].value,
+            engine.range_sum(name, np.asarray([10]), np.asarray([20, 30])),
+        )
+        np.testing.assert_array_equal(
+            results[2].value, engine.range_sum(name, 2, np.asarray([4, 9, 14]))
+        )
+
+    def test_multidimensional_args_not_miscoalesced(self, pair):
+        """Regression: 2-D query arrays stack along axis 0 with the wrong
+        element-count lengths; they must bypass coalescing and still
+        answer exactly like the engine."""
+        engine, router = pair
+        name = NAMES[0]
+        a = np.asarray([[0, 5], [10, 15]])
+        b = a + 20
+        requests = [
+            QueryRequest("range_sum", name, (a, b)),
+            QueryRequest("range_sum", name, (a + 1, b + 1)),
+        ]
+        with AsyncServingFrontend(router, coalesce=True) as fe:
+            results = fe.serve(requests)
+        assert all(r.ok for r in results)
+        assert results[0].value.shape == (2, 2)
+        np.testing.assert_array_equal(results[0].value, engine.range_sum(name, a, b))
+        np.testing.assert_array_equal(
+            results[1].value, engine.range_sum(name, a + 1, b + 1)
+        )
+
+    def test_bad_request_isolated(self, frontend):
+        requests = [
+            QueryRequest("range_sum", NAMES[0], (0, 10)),
+            QueryRequest("range_sum", "nope", (0, 10)),
+            QueryRequest("range_sum", NAMES[0], (0, 10_000)),  # out of range
+            QueryRequest("range_sum", NAMES[0], (5, 20)),
+        ]
+        results = frontend.serve(requests)
+        assert results[0].ok and results[3].ok
+        assert not results[1].ok and "registered" in results[1].error
+        assert not results[2].ok and "ranges must satisfy" in results[2].error
+
+    def test_bad_request_inside_coalesced_group_isolated(self, frontend):
+        # Same (name, kind) group: the poisoned member must not take the
+        # healthy ones down with it.
+        requests = [
+            QueryRequest("range_sum", NAMES[0], (0, 10)),
+            QueryRequest("range_sum", NAMES[0], (0, 10_000)),
+            QueryRequest("range_sum", NAMES[0], (7, 9)),
+        ]
+        results = frontend.serve(requests)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+
+    def test_invalid_request_construction(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            QueryRequest("median", "a", (0.5,))
+        with pytest.raises(ValueError, match="argument"):
+            QueryRequest("range_sum", "a", (1,))
+
+    def test_async_write_bumps_version_in_results(self, pair):
+        _, router = pair
+        rng = np.random.default_rng(4)
+        learner = StreamingHistogramLearner(n=100, k=3)
+        learner.extend(rng.integers(0, 100, 300))
+        router.register_stream("live", learner)
+
+        async def scenario(fe):
+            before = await fe.query_batch([QueryRequest("cdf", "live", (50,))])
+            await fe.extend("live", rng.integers(0, 100, 5000))  # refresh
+            await fe.refresh("live")
+            after = await fe.query_batch([QueryRequest("cdf", "live", (50,))])
+            return before[0], after[0]
+
+        with AsyncServingFrontend(router) as fe:
+            before, after = asyncio.run(scenario(fe))
+        assert before.version == 0
+        assert after.version == router["live"].version >= 2
+
+
+# --------------------------------------------------------------------- #
+# Sharded persistence
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def saved_sharded(tmp_path):
+    router = ShardRouter(num_shards=3)
+    populate(router, NAMES[:6])
+    rng = np.random.default_rng(11)
+    learner = StreamingHistogramLearner(n=64, k=3)
+    learner.extend(rng.integers(0, 64, 500))
+    router.register_stream("live", learner)
+    path = tmp_path / "sharded"
+    router.save(path)
+    return router, path
+
+
+class TestShardedPersistence:
+    def test_round_trip_matches_unsharded_bitwise(self, tmp_path):
+        """Acceptance: save_sharded -> load_sharded answers bitwise equal
+        to the unsharded store over identical registrations."""
+        store = SynopsisStore()
+        populate(store, NAMES)
+        engine = QueryEngine(store)
+
+        router = ShardRouter(num_shards=4)
+        populate(router, NAMES)
+        save_sharded(router, tmp_path / "sharded")
+        loaded = load_sharded(tmp_path / "sharded")
+
+        assert loaded.summary() == router.summary()
+        assert [m["name"] for m in loaded.summary()] == [
+            m["name"] for m in store.summary()
+        ]
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, 240, 64)
+        b = rng.integers(0, 240, 64)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        x = rng.integers(0, 240, 64)
+        q = rng.random(32)
+        for name in NAMES:
+            np.testing.assert_array_equal(
+                loaded.range_sum(name, a, b), engine.range_sum(name, a, b)
+            )
+            np.testing.assert_array_equal(
+                loaded.range_mean(name, a, b), engine.range_mean(name, a, b)
+            )
+            np.testing.assert_array_equal(
+                loaded.point_mass(name, x), engine.point_mass(name, x)
+            )
+            np.testing.assert_array_equal(loaded.cdf(name, x), engine.cdf(name, x))
+            np.testing.assert_array_equal(
+                loaded.quantile(name, q), engine.quantile(name, q)
+            )
+            assert loaded.top_k_buckets(name, 3) == engine.top_k_buckets(name, 3)
+
+    def test_layout_and_manifest(self, saved_sharded):
+        router, path = saved_sharded
+        assert detect_store_format(path) == "sharded"
+        manifest = read_sharded_manifest(path)
+        assert manifest["schema"] == SHARDED_SCHEMA_VERSION
+        assert manifest["num_shards"] == 3
+        assert (path / "shard-0000" / "manifest.json").is_file()
+        assert manifest["shard_map"]["assignments"] == (
+            router.shard_map.assignments()
+        )
+
+    def test_lazy_load_hydrates_per_shard(self, saved_sharded):
+        _, path = saved_sharded
+        loaded = ShardRouter.load(path)
+        assert all(
+            not loaded[name].is_hydrated for name in loaded.names()
+        )
+        loaded.range_sum(loaded.names()[0], 0, 10)
+        assert loaded[loaded.names()[0]].is_hydrated
+        touched = loaded.shard_map.shard_of(loaded.names()[0])
+        for name in loaded.names()[1:]:
+            if loaded.shard_map.shard_of(name) != touched:
+                assert not loaded[name].is_hydrated
+
+    def test_streaming_entry_resumes(self, saved_sharded):
+        router, path = saved_sharded
+        loaded = ShardRouter.load(path)
+        entry = loaded["live"]
+        assert entry.describe()["samples_seen"] == 500
+        rng = np.random.default_rng(12)
+        batch = rng.integers(0, 64, 700)
+        assert (
+            loaded.extend("live", batch).version
+            == router.extend("live", batch).version
+        )
+
+    def test_save_replaces_atomically(self, saved_sharded, tmp_path):
+        router, path = saved_sharded
+        router.register("extra", signal(seed=50), family="merging", k=3)
+        router.save(path)  # replace in place
+        loaded = ShardRouter.load(path)
+        assert "extra" in loaded
+        leftovers = [p.name for p in path.parent.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_concurrent_register_cannot_tear_the_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a register racing save_sharded must not produce a
+        manifest whose shard map names an entry absent from its shard dir
+        — the saved map and shards are one point-in-time snapshot."""
+        import time as time_mod
+
+        import repro.serve.persistence as persistence
+
+        router = ShardRouter(num_shards=2)
+        populate(router, NAMES[:4])
+        real = persistence._write_store_contents
+
+        def slow_write(store, target):
+            time_mod.sleep(0.05)  # hold the snapshot window open
+            real(store, target)
+
+        monkeypatch.setattr(persistence, "_write_store_contents", slow_write)
+        path = tmp_path / "sharded"
+        saver = threading.Thread(target=lambda: router.save(path))
+        saver.start()
+        time_mod.sleep(0.02)  # land mid-save
+        router.register("late", signal(seed=77), family="merging", k=3)
+        saver.join()
+        monkeypatch.undo()
+
+        manifest = read_sharded_manifest(path)
+        loaded = load_sharded(path)
+        in_map = "late" in manifest["shard_map"]["assignments"]
+        assert in_map == ("late" in loaded.names()), (
+            "saved shard map and shard contents disagree about 'late'"
+        )
+
+    def test_refuses_non_store_target(self, saved_sharded, tmp_path):
+        router, _ = saved_sharded
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "data.txt").write_text("keep me")
+        with pytest.raises(ValueError, match="not a\n?.*synopsis store"):
+            router.save(target)
+        assert (target / "data.txt").read_text() == "keep me"
+
+    def test_plain_loaders_reject_each_other(self, saved_sharded, tmp_path):
+        _, path = saved_sharded
+        with pytest.raises(StoreCorruptionError, match="sharded store"):
+            SynopsisStore.load(path)
+        store = SynopsisStore()
+        store.register("a", signal(), family="merging", k=3)
+        store.save(tmp_path / "plain")
+        with pytest.raises(StoreCorruptionError, match="unsharded store"):
+            load_sharded(tmp_path / "plain")
+
+    def test_missing_shard_dir(self, saved_sharded):
+        _, path = saved_sharded
+        shutil.rmtree(path / "shard-0001")
+        with pytest.raises(StoreCorruptionError, match="missing shard directory"):
+            load_sharded(path)
+
+    def test_tampered_shard_map_detected(self, saved_sharded):
+        # Move one name's assignment to another shard without moving the
+        # entry: placement and contents disagree -> corruption.
+        _, path = saved_sharded
+        manifest = json.loads((path / "manifest.json").read_text())
+        assignments = manifest["shard_map"]["assignments"]
+        name = next(iter(assignments))
+        assignments[name] = (assignments[name] + 1) % manifest["num_shards"]
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreCorruptionError, match="inconsistent sharded store"):
+            load_sharded(path)
+
+    def test_rotted_parent_manifest_fields(self, saved_sharded):
+        _, path = saved_sharded
+        good = json.loads((path / "manifest.json").read_text())
+
+        bad = json.loads(json.dumps(good))
+        bad["num_shards"] = "three"
+        (path / "manifest.json").write_text(json.dumps(bad))
+        with pytest.raises(StoreCorruptionError, match="invalid num_shards"):
+            load_sharded(path)
+
+        bad = json.loads(json.dumps(good))
+        bad["shard_dirs"] = ["shard-0000"]
+        (path / "manifest.json").write_text(json.dumps(bad))
+        with pytest.raises(StoreCorruptionError, match="shard dirs"):
+            load_sharded(path)
+
+        bad = json.loads(json.dumps(good))
+        bad["shard_dirs"][0] = "../escape"
+        (path / "manifest.json").write_text(json.dumps(bad))
+        with pytest.raises(StoreCorruptionError, match="invalid shard directory"):
+            load_sharded(path)
+
+        bad = json.loads(json.dumps(good))
+        bad["schema"] = SHARDED_SCHEMA_VERSION + 1
+        (path / "manifest.json").write_text(json.dumps(bad))
+        with pytest.raises(StoreCorruptionError, match="newer than"):
+            load_sharded(path)
+
+
+class TestGoldenShardedFixture:
+    """The sharded parent manifest must not drift silently (schema guard)."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(
+            FIXTURES / "golden_sharded_expected.json", "r", encoding="utf-8"
+        ) as handle:
+            expected = json.load(handle)
+        router = ShardRouter.load(FIXTURES / "golden_sharded_store")
+        return router, expected
+
+    def test_schema_version_matches(self):
+        manifest = read_sharded_manifest(FIXTURES / "golden_sharded_store")
+        assert manifest["schema"] == SHARDED_SCHEMA_VERSION, (
+            "sharded schema version bumped: regenerate the golden fixtures "
+            "with tests/fixtures/make_golden_store.py and commit them"
+        )
+
+    def test_shard_map_matches(self, golden):
+        router, expected = golden
+        assert router.num_shards == expected["num_shards"]
+        assert router.shard_map.assignments() == expected["shard_map"]
+
+    def test_fixture_is_genuinely_multi_shard(self, golden):
+        # Both shards hold entries, and at least one placement disagrees
+        # with the stable hash — so the fixture proves persisted
+        # assignments (not the hash) drive placement on load.
+        router, _ = golden
+        assert all(len(shard.store) > 0 for shard in router.shards)
+        assert any(
+            router.shard_map.shard_of(name) != stable_shard(name, router.num_shards)
+            for name in router.names()
+        )
+
+    def test_summary_matches(self, golden):
+        router, expected = golden
+        assert router.summary() == expected["summary"]
+
+    def test_answers_match(self, golden):
+        router, expected = golden
+        a = np.asarray([r[0] for r in expected["ranges"]])
+        b = np.asarray([r[1] for r in expected["ranges"]])
+        xs = np.asarray(expected["positions"])
+        qs = np.asarray(expected["levels"])
+        for name, answers in expected["answers"].items():
+            got = {
+                "range_sum": router.range_sum(name, a, b),
+                "range_mean": router.range_mean(name, a, b),
+                "point_mass": router.point_mass(name, xs),
+                "cdf": router.cdf(name, xs),
+                "quantile": router.quantile(name, qs),
+            }
+            for kind, want in answers.items():
+                if name == "poly" and kind != "quantile":
+                    # Same LAPACK caveat as the unsharded golden test.
+                    np.testing.assert_allclose(
+                        got[kind], np.asarray(want), rtol=0.0, atol=1e-9
+                    )
+                else:
+                    np.testing.assert_array_equal(
+                        got[kind], np.asarray(want), err_msg=f"{name}/{kind}"
+                    )
+
+
+# --------------------------------------------------------------------- #
+# Sharded CLI
+# --------------------------------------------------------------------- #
+
+
+class TestShardedCLI:
+    def test_save_inspect_load_sharded(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(
+            ["save", "--n", "256", "--k", "4", "--families", "merging,wavelet,gks",
+             "--shards", "2", "--store-dir", store_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "saved 3 entries" in out and "across 2 shards" in out
+
+        assert main(["inspect", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "repro-synopsis-store-sharded schema=1 shards=2" in out
+        assert "map merging -> shard" in out
+        assert "shard-0000:" in out
+
+        assert main(["load", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "on 2 shard(s)" in out and "3 prefix tables warm" in out
+
+        assert main(["load", store_dir, "--shards", "2"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--shards asked for 3"):
+            main(["load", store_dir, "--shards", "3"])
+        with pytest.raises(SystemExit, match="--shards asked for 3"):
+            main(["inspect", store_dir, "--shards", "3"])
+
+    def test_serve_sharded_store_dir(self, tmp_path):
+        from repro.serve.cli import serve_main
+
+        store_dir = str(tmp_path / "store")
+        assert main(
+            ["save", "--n", "256", "--k", "4", "--families", "merging,wavelet",
+             "--shards", "2", "--store-dir", store_dir]
+        ) == 0
+        commands = io.StringIO(
+            "summary\nshards\nrange merging 0 100\nmean merging 0 100\n"
+            "inspect merging\ncache\nquit\n"
+        )
+        out = io.StringIO()
+        assert serve_main(
+            ["--store-dir", store_dir], stdin=commands, stdout=out
+        ) == 0
+        text = out.getvalue()
+        assert "on 2 shard(s)" in text
+        assert "shard 0:" in text and "shard 1:" in text
+        assert "shard=" in text  # inspect line carries the shard index
+        assert "cache: hits=" in text
+
+    def test_serve_fresh_sharded_and_save(self, tmp_path):
+        from repro.serve.cli import serve_main
+
+        target = str(tmp_path / "out")
+        commands = io.StringIO(f"save {target}\nquit\n")
+        out = io.StringIO()
+        assert serve_main(
+            ["--n", "256", "--k", "4", "--families", "merging,wavelet",
+             "--shards", "3"],
+            stdin=commands,
+            stdout=out,
+        ) == 0
+        assert "on 3 shard(s)" in out.getvalue()
+        assert detect_store_format(target) == "sharded"
+        assert set(ShardRouter.load(target).names()) == {"merging", "wavelet"}
+
+    def test_load_keeps_every_table_warm_on_large_stores(self, tmp_path, capsys):
+        # Regression: load must size each shard's cache to the store, so
+        # validation of a >32-entry store does not silently evict.
+        store = SynopsisStore()
+        for i in range(40):
+            store.register(f"e{i:02d}", signal(32, seed=i), family="exact", k=1)
+        store.save(tmp_path / "big")
+        assert main(["load", str(tmp_path / "big")]) == 0
+        assert "40 prefix tables warm" in capsys.readouterr().out
+
+    def test_query_range_mean_kind(self, capsys):
+        assert main(
+            ["query", "--n", "256", "--kind", "range_mean", "--num-queries", "50"]
+        ) == 0
+        assert "range_mean x 50" in capsys.readouterr().out
+
+    def test_serve_unsharded_dir_shard_assert(self, tmp_path):
+        from repro.serve.cli import serve_main
+
+        store_dir = str(tmp_path / "plain")
+        assert main(
+            ["save", "--n", "128", "--k", "2", "--families", "merging",
+             "--store-dir", store_dir]
+        ) == 0
+        with pytest.raises(SystemExit, match="--shards asked for 2"):
+            serve_main(["--store-dir", store_dir, "--shards", "2"])
+
+
+# --------------------------------------------------------------------- #
+# Concurrency: refresh-while-query consistency (the stress test)
+# --------------------------------------------------------------------- #
+
+
+def _expected_answers(synopsis, a, b):
+    return PrefixTable.from_synopsis(synopsis).range_sum(a, b)
+
+
+@pytest.mark.slow
+class TestConcurrentRefreshWhileQuery:
+    def test_every_answer_from_a_consistent_snapshot(self):
+        """One thread extends streaming entries while another fires
+        batched queries through the front end; every answer must equal
+        the answer of the synopsis that carried exactly the reported
+        (name, version) — no torn reads, no half-bumped versions."""
+        rng = np.random.default_rng(100)
+        router = ShardRouter(num_shards=3)
+        names = ["live-a", "live-b", "live-c", "live-d"]
+        history = {}
+        for name in names:
+            learner = StreamingHistogramLearner(n=120, k=4, refresh_factor=1.2)
+            learner.extend(rng.integers(0, 120, 200))
+            entry = router.register_stream(name, learner)
+            history[(name, entry.version)] = entry.result.synopsis
+
+        stop = threading.Event()
+        writer_error = []
+
+        def writer():
+            # The single mutator: after each extend, record the synopsis
+            # now serving each (name, version).  Entries only change inside
+            # this thread, so the record is exact.
+            wrng = np.random.default_rng(200)
+            try:
+                while not stop.is_set():
+                    name = names[int(wrng.integers(len(names)))]
+                    router.extend(name, wrng.integers(0, 120, 150))
+                    entry = router[name]
+                    history[(name, entry.version)] = entry.result.synopsis
+            except Exception as exc:  # pragma: no cover - fails the test
+                writer_error.append(exc)
+
+        collected = []
+
+        async def reader(fe):
+            qrng = np.random.default_rng(300)
+            for _ in range(150):
+                requests = []
+                args = []
+                for _ in range(12):
+                    name = names[int(qrng.integers(len(names)))]
+                    a = qrng.integers(0, 120, 32)
+                    b = qrng.integers(0, 120, 32)
+                    a, b = np.minimum(a, b), np.maximum(a, b)
+                    requests.append(QueryRequest("range_sum", name, (a, b)))
+                    args.append((a, b))
+                results = await fe.query_batch(requests)
+                for result, (a, b) in zip(results, args):
+                    assert result.ok, result.error
+                    collected.append((result.name, result.version, a, b, result.value))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            with AsyncServingFrontend(router) as fe:
+                asyncio.run(reader(fe))
+        finally:
+            stop.set()
+            thread.join()
+        assert not writer_error, writer_error
+
+        versions_seen = {}
+        for name, version, a, b, value in collected:
+            key = (name, version)
+            assert key in history, f"answer from unrecorded snapshot {key}"
+            np.testing.assert_array_equal(
+                value,
+                _expected_answers(history[key], a, b),
+                err_msg=f"torn read at {key}",
+            )
+            versions_seen.setdefault(name, set()).add(version)
+        # The stress is only meaningful if refreshes actually interleaved
+        # with queries: at least one entry must have served >1 version.
+        assert any(len(v) > 1 for v in versions_seen.values()), (
+            "no version ever advanced during the read phase; "
+            "stress test did not stress"
+        )
