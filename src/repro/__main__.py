@@ -14,15 +14,20 @@ Experiments:
 Serving commands:
 
 * ``query``       — build one synopsis, answer a batch of random queries
+  (``--family auto`` plans the family/k from a ``--max-bytes`` /
+  ``--max-error`` / ``--max-build-ms`` budget; ``--kind inner_product``
+  pairs the synopsis against a lossless reference)
 * ``serve``       — register synopses (or load a persisted store with
   ``--store-dir``) and answer queries from stdin; ``--shards N`` serves
-  from N concurrent store/engine shards
+  from N concurrent store/engine shards; ``plan <name>`` prints an
+  auto-planned entry's decision record
 * ``save``        — build synopses and persist the store to a directory
-  (``--shards N`` writes the sharded layout)
+  (``--shards N`` writes the sharded layout; ``--families auto`` plans)
 * ``load``        — load + fully validate a persisted store (plain or
   sharded, detected automatically)
 * ``inspect``     — print a persisted store's manifest(s) — for sharded
-  stores the parent shard map plus every shard (no payload reads)
+  stores the parent shard map plus every shard (no payload reads;
+  ``--sort error`` ranks entries NaN-safely)
 
 Run ``python -m repro <command> --help`` for per-command options.
 """

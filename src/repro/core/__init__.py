@@ -1,5 +1,12 @@
 """Core algorithms and data types of the histogram-approximation library."""
 
+from .errorutil import (
+    UNMEASURED,
+    error_sort_key,
+    error_within,
+    format_error,
+    is_measured,
+)
 from .fastmerging import construct_fast_histogram, construct_fast_histogram_partition
 from .fitpoly import PolynomialFit, fit_polynomial
 from .general_merging import (
@@ -30,6 +37,7 @@ from .sparse import SparseFunction
 
 __all__ = [
     "ConstantOracle",
+    "UNMEASURED",
     "GeneralMergingResult",
     "HierarchicalResult",
     "LinearOracle",
@@ -50,12 +58,16 @@ __all__ = [
     "construct_histogram",
     "construct_histogram_partition",
     "construct_piecewise_polynomial",
+    "error_sort_key",
+    "error_within",
     "evaluate_gram_basis",
     "fit_polynomial",
     "flatten",
+    "format_error",
     "gram_basis_matrix",
     "gram_recurrence_coefficients",
     "initial_partition",
+    "is_measured",
     "keep_count",
     "target_pieces",
 ]

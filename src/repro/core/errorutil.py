@@ -1,0 +1,61 @@
+"""NaN-safe helpers for synopsis error metadata.
+
+``BuildResult.error`` is ``NaN`` when a build skipped the (O(n)) exact
+error computation — an *unmeasured* error, not a zero one.  Raw float
+comparisons silently treat ``NaN`` as "not less than" anything, so a
+naive ``min``/``sorted`` over build results would rank an unmeasured
+candidate as if it were perfect (or drop it nondeterministically).  Every
+layer that compares or ranks errors (the build planner, CLI ``inspect``
+sorting) routes through these helpers instead, which place unmeasured
+errors in an explicit bucket *after* all measured ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "UNMEASURED",
+    "error_sort_key",
+    "error_within",
+    "format_error",
+    "is_measured",
+]
+
+#: The sentinel for "error was not computed for this build".
+UNMEASURED = float("nan")
+
+
+def is_measured(error: float) -> bool:
+    """Whether ``error`` is a real measurement (not the NaN sentinel)."""
+    return not math.isnan(error)
+
+
+def error_sort_key(error: float) -> Tuple[int, float]:
+    """Total-order sort key: measured errors ascending, unmeasured last.
+
+    ``sorted(results, key=lambda r: error_sort_key(r.error))`` is stable
+    and deterministic even when some errors are ``NaN`` — unlike sorting
+    on the raw float, where NaN comparisons are all false and the result
+    depends on the input order.
+    """
+    if is_measured(error):
+        return (0, float(error))
+    return (1, 0.0)
+
+
+def error_within(error: float, bound: float) -> bool:
+    """``error <= bound``, with unmeasured errors *failing* the check.
+
+    An unmeasured error can never certify an error budget; callers that
+    want to treat it as acceptable must opt in explicitly.
+    """
+    return is_measured(error) and float(error) <= float(bound)
+
+
+def format_error(error: float, fmt: str = ".6g") -> str:
+    """Render an error for reports: the number, or ``"unmeasured"``."""
+    if is_measured(error):
+        return format(float(error), fmt)
+    return "unmeasured"

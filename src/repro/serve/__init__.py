@@ -6,7 +6,15 @@ into a queryable system:
 
 * :mod:`repro.serve.builders` — a registry of synopsis builders, one per
   family in the repo, returning the synopsis plus size/error/build-time
-  metadata.
+  metadata; each registration carries :class:`FamilySpec` capability
+  metadata (cost class, k-range, error monotonicity) for the planner.
+* :mod:`repro.serve.planner` — error-budget auto-family selection:
+  :func:`plan_build` takes a :class:`BuildBudget` (max bytes / max l2
+  error / max build ms), probes the paper's cheap merging families
+  first, escalates to the expensive exact-DP/poly tiers only for
+  feasibility, and returns a :class:`BuildPlan` decision record that
+  persists with the store (``store.register_auto`` /
+  ``router.register_auto``).
 * :mod:`repro.serve.store` — :class:`SynopsisStore`, a named collection of
   built synopses with versioning and streaming-backed refresh.
 * :mod:`repro.serve.persistence` — durable store directories: JSON
@@ -30,10 +38,13 @@ into a queryable system:
 """
 
 from .builders import (
+    COST_CLASSES,
     SYNOPSIS_CODECS,
     SYNOPSIS_FAMILIES,
     BuildResult,
+    FamilySpec,
     build_synopsis,
+    family_spec,
     register_builder,
     register_synopsis_codec,
     synopsis_from_dict,
@@ -42,6 +53,15 @@ from .builders import (
 )
 from .engine import CacheStats, PrefixTable, QueryEngine
 from .frontend import AsyncServingFrontend, QueryRequest, QueryResult
+from .planner import (
+    BudgetInfeasibleError,
+    BuildBudget,
+    BuildPlan,
+    CandidateSpec,
+    default_k_grid,
+    plan_build,
+    replan,
+)
 from .persistence import (
     StoreCorruptionError,
     detect_store_format,
@@ -55,8 +75,14 @@ from .store import StoreEntry, SynopsisStore
 
 __all__ = [
     "AsyncServingFrontend",
+    "BudgetInfeasibleError",
+    "BuildBudget",
+    "BuildPlan",
     "BuildResult",
+    "COST_CLASSES",
     "CacheStats",
+    "CandidateSpec",
+    "FamilySpec",
     "PrefixTable",
     "QueryEngine",
     "QueryRequest",
@@ -70,11 +96,15 @@ __all__ = [
     "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "build_synopsis",
+    "default_k_grid",
     "detect_store_format",
+    "family_spec",
     "load_sharded",
     "load_store",
+    "plan_build",
     "register_builder",
     "register_synopsis_codec",
+    "replan",
     "save_sharded",
     "save_store",
     "stable_shard",

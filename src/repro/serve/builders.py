@@ -6,6 +6,16 @@ returns a synopsis object supporting ``prefix_integral`` / ``to_dense``.
 :func:`build_synopsis` wraps a builder call with timing and size/error
 metadata so the store can track what each entry costs and how good it is.
 
+A registration is a :class:`FamilySpec` — the builder callable plus the
+capability metadata the build planner (:mod:`repro.serve.planner`)
+consumes: a *cost class* (the paper's headline tradeoff: merging families
+are ~100x cheaper to build than the exact DP, so they run first as
+probes), the supported input kinds, the meaningful ``k`` range, whether
+the family's error is monotone nonincreasing in ``k`` (which lets the
+planner stop scanning a family's k-grid early), whether builds measure
+their exact error, and an optional stored-size upper bound as a function
+of ``(k, n)``.
+
 The codec side is the universal serialization protocol: every synopsis
 *type* carries a ``kind`` tag and versioned ``to_dict`` / ``from_dict``,
 and :data:`SYNOPSIS_CODECS` maps tags back to classes so
@@ -32,16 +42,20 @@ from ..core.fastmerging import construct_fast_histogram
 from ..core.general_merging import construct_piecewise_polynomial
 from ..core.hierarchical import construct_hierarchical_histogram
 from ..core.histogram import Histogram
+from ..core.errorutil import UNMEASURED
 from ..core.merging import construct_histogram
 from ..core.piecewise_poly import PiecewisePolynomial
 from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 
 __all__ = [
+    "COST_CLASSES",
     "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "BuildResult",
+    "FamilySpec",
     "build_synopsis",
+    "family_spec",
     "register_builder",
     "register_synopsis_codec",
     "synopsis_from_dict",
@@ -53,7 +67,102 @@ __all__ = [
 Synopsis = Union[Histogram, PiecewisePolynomial, WaveletSynopsis, SparseFunction]
 Builder = Callable[..., Synopsis]
 
-_BUILDERS: Dict[str, Builder] = {}
+#: Build-cost tiers, cheapest first.  "probe" families (the paper's
+#: near-linear merging algorithms and their peers) are cheap enough that
+#: the planner builds them unconditionally as proxies; "expensive"
+#: families (exact DP and friends) are only built when no cheaper tier
+#: can satisfy the caller's budget.
+COST_CLASSES = ("probe", "standard", "expensive")
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One registered synopsis family: builder plus planner capabilities.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the ``family=`` argument everywhere).
+    fn:
+        The builder callable ``fn(q, k, **options)``.
+    cost:
+        One of :data:`COST_CLASSES`; drives planner build order/pruning.
+    inputs:
+        Input kinds callers may pass to :func:`build_synopsis` for this
+        family — enforced there, so a family registered as dense-only
+        (``inputs=("dense",)``) rejects a :class:`SparseFunction` with a
+        clear error instead of silently converting.  Every built-in
+        family accepts both ``"dense"`` and ``"sparse"`` via the uniform
+        sparse conversion.
+    k_min, k_max:
+        The meaningful piece-budget range.  ``k_max=None`` means
+        unbounded (the planner still clips to ``n``); the lossless
+        ``exact`` family pins ``k_max=1`` because ``k`` is ignored.
+    monotone_error:
+        Whether the family's build error is nonincreasing in ``k`` (true
+        for the greedy-merging trajectory, the optimal DP, and top-B
+        wavelets), letting the planner stop a k-grid scan at the first
+        feasible candidate.
+    measures_error:
+        Whether :func:`build_synopsis` computes the exact l2 error for
+        this family.  A family that skips it reports
+        :data:`~repro.core.errorutil.UNMEASURED` and can never certify an
+        error budget.
+    lossless:
+        The family reconstructs its input bitwise, so its error is 0.0
+        *by construction* and is reported as such — never routed through
+        the prefix-sum error formula, whose floating-point cancellation
+        would report a ~1e-5 noise floor and make the planner reject
+        tight error budgets the lossless copy actually satisfies.
+    size_bound:
+        Optional ``(k, n) -> stored-number upper bound``, recorded (in
+        bytes) as ``size_bound_bytes`` on every enumerated
+        :class:`~repro.serve.planner.CandidateSpec` — so the decision
+        record carries a size estimate even for candidates that were
+        pruned without being built.  ``None`` when the size is data- or
+        option-dependent.
+    """
+
+    name: str
+    fn: Builder = field(repr=False, compare=False)
+    cost: str = "standard"
+    inputs: tuple = ("dense", "sparse")
+    k_min: int = 1
+    k_max: Optional[int] = None
+    monotone_error: bool = True
+    measures_error: bool = True
+    lossless: bool = False
+    size_bound: Optional[Callable[[int, int], int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.cost not in COST_CLASSES:
+            raise ValueError(
+                f"cost class must be one of {COST_CLASSES}, got {self.cost!r}"
+            )
+        if not self.inputs or not set(self.inputs) <= {"dense", "sparse"}:
+            # Catches inputs="dense" too: tuple() of a string explodes it
+            # into characters, which would otherwise surface much later
+            # as a baffling "supported: d, e, n, s, e" build error.
+            raise ValueError(
+                f"inputs must be a non-empty subset of ('dense', 'sparse'), "
+                f"got {self.inputs!r}"
+            )
+        if self.k_min < 1:
+            raise ValueError(f"k_min must be >= 1, got {self.k_min}")
+        if self.k_max is not None and self.k_max < self.k_min:
+            raise ValueError(
+                f"k_max {self.k_max} must be >= k_min {self.k_min}"
+            )
+
+    def k_range(self, n: int) -> range:
+        """The supported ``k`` values for an input of size ``n``."""
+        hi = n if self.k_max is None else min(self.k_max, n)
+        return range(self.k_min, max(hi, self.k_min) + 1)
+
+
+_BUILDERS: Dict[str, FamilySpec] = {}
 
 # Both registries are process-global and shared by every store shard: a
 # family registered once is buildable and revivable on all shards, and
@@ -63,17 +172,56 @@ _BUILDERS: Dict[str, Builder] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 
-def register_builder(name: str) -> Callable[[Builder], Builder]:
-    """Decorator registering ``fn`` as the builder for family ``name``."""
+def register_builder(
+    name: str,
+    *,
+    cost: str = "standard",
+    inputs: tuple = ("dense", "sparse"),
+    k_min: int = 1,
+    k_max: Optional[int] = None,
+    monotone_error: bool = True,
+    measures_error: bool = True,
+    lossless: bool = False,
+    size_bound: Optional[Callable[[int, int], int]] = None,
+) -> Callable[[Builder], Builder]:
+    """Decorator registering ``fn`` as the builder for family ``name``.
+
+    The keyword arguments are the :class:`FamilySpec` capability metadata
+    the build planner consumes; the defaults describe a conservative
+    mid-tier family, so pre-existing external registrations keep working.
+    """
 
     def wrap(fn: Builder) -> Builder:
+        spec = FamilySpec(
+            name=name,
+            fn=fn,
+            cost=cost,
+            inputs=tuple(inputs),
+            k_min=k_min,
+            k_max=k_max,
+            monotone_error=monotone_error,
+            measures_error=measures_error,
+            lossless=lossless,
+            size_bound=size_bound,
+        )
         with _REGISTRY_LOCK:
             if name in _BUILDERS:
                 raise ValueError(f"builder {name!r} already registered")
-            _BUILDERS[name] = fn
+            _BUILDERS[name] = spec
         return fn
 
     return wrap
+
+
+def family_spec(name: str) -> FamilySpec:
+    """The :class:`FamilySpec` registered for family ``name``."""
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown synopsis family {name!r}; "
+            f"available: {', '.join(_BUILDERS)}"
+        ) from None
 
 
 SYNOPSIS_CODECS: Dict[str, Type[Synopsis]] = {}
@@ -182,6 +330,11 @@ class BuildResult:
         """
         payload = {"kind": self.kind, "schema": self.schema_version}
         payload.update(self.describe())
+        if payload["error"] != payload["error"]:  # NaN: unmeasured error
+            # Serialize the unmeasured sentinel as null — json.dump would
+            # otherwise emit a literal NaN, which is not standard JSON
+            # and breaks strict consumers of the store manifest.
+            payload["error"] = None
         if include_synopsis:
             if self.synopsis is None:
                 raise ValueError(
@@ -200,6 +353,7 @@ class BuildResult:
         """
         check_payload_tag(payload, cls)
         synopsis_payload = payload.get("synopsis")
+        error = payload.get("error")
         return cls(
             synopsis=(
                 synopsis_from_dict(synopsis_payload)
@@ -212,7 +366,7 @@ class BuildResult:
             options=dict(payload.get("options", {})),
             build_seconds=float(payload.get("build_seconds", 0.0)),
             stored_numbers=int(payload.get("stored_numbers", 0)),
-            error=float(payload.get("error", float("nan"))),
+            error=UNMEASURED if error is None else float(error),
             pieces=int(payload.get("pieces", 0)),
         )
 
@@ -234,43 +388,54 @@ def _as_sparse(q: Union[np.ndarray, SparseFunction]) -> SparseFunction:
 # --------------------------------------------------------------------- #
 
 
-@register_builder("merging")
+def _merging_size_bound(k: int, n: int) -> int:
+    # Algorithm 1 with the default gamma=1 outputs <= 2k + 1 pieces.
+    return 2 * min(2 * k + 1, n)
+
+
+@register_builder("merging", cost="probe", size_bound=_merging_size_bound)
 def _build_merging(q, k, delta: float = 1000.0, gamma: float = 1.0) -> Histogram:
     """Algorithm 1 greedy pair merging (the paper's workhorse)."""
     return construct_histogram(q, k, delta=delta, gamma=gamma)
 
 
-@register_builder("fast")
+@register_builder("fast", cost="probe", size_bound=_merging_size_bound)
 def _build_fast(q, k, delta: float = 1000.0, gamma: float = 1.0) -> Histogram:
     """Group merging with the doubly-logarithmic round schedule."""
     return construct_fast_histogram(q, k, delta=delta, gamma=gamma)
 
 
-@register_builder("hierarchical")
+@register_builder(
+    "hierarchical", cost="probe", size_bound=lambda k, n: 2 * min(8 * k, n)
+)
 def _build_hierarchical(q, k) -> Histogram:
     """Algorithm 2 multi-scale hierarchy, read out at the ``<= 8k`` level."""
     return construct_hierarchical_histogram(q).histogram_for_budget(k)
 
 
-@register_builder("dual")
+@register_builder("dual", cost="standard", size_bound=lambda k, n: 2 * min(k, n))
 def _build_dual(q, k, tolerance: float = 1e-3) -> Histogram:
     """Dual greedy: binary search over the per-bucket error budget."""
     return dual_histogram(q, k, tolerance=tolerance).histogram
 
 
-@register_builder("gks")
+@register_builder("gks", cost="expensive", size_bound=lambda k, n: 2 * min(k, n))
 def _build_gks(q, k, delta: float = 1.0) -> Histogram:
     """[GKS] ``(1 + delta)``-approximate V-optimal DP."""
     return gks_histogram(q, k, delta=delta).histogram
 
 
-@register_builder("exact_dp")
+@register_builder(
+    "exact_dp", cost="expensive", size_bound=lambda k, n: 2 * min(k, n)
+)
 def _build_exact_dp(q, k) -> Histogram:
     """Exact V-optimal DP of [JKM+98] — the quality gold standard."""
     return v_optimal_histogram(q, k).histogram
 
 
-@register_builder("wavelet")
+@register_builder(
+    "wavelet", cost="probe", size_bound=lambda k, n: 2 * (2 * k + 1)
+)
 def _build_wavelet(q, k) -> WaveletSynopsis:
     """l2-optimal Haar synopsis at the histogram-equivalent storage budget.
 
@@ -280,7 +445,7 @@ def _build_wavelet(q, k) -> WaveletSynopsis:
     return wavelet_synopsis(q, 2 * k + 1)
 
 
-@register_builder("poly")
+@register_builder("poly", cost="expensive", monotone_error=False)
 def _build_poly(
     q, k, degree: int = 2, delta: float = 1000.0, gamma: float = 1.0
 ) -> PiecewisePolynomial:
@@ -288,9 +453,13 @@ def _build_poly(
     return construct_piecewise_polynomial(q, k, degree, delta=delta, gamma=gamma)
 
 
-@register_builder("exact")
+@register_builder("exact", cost="probe", k_max=1, lossless=True)
 def _build_exact(q, k) -> Histogram:
-    """Lossless run-length histogram of the input (ground-truth serving)."""
+    """Lossless run-length histogram of the input (ground-truth serving).
+
+    ``k`` is ignored (``k_max=1`` collapses planner k-grids to one
+    candidate) and the stored size is the data's run count.
+    """
     sparse = _as_sparse(q)
     return Histogram.from_dense(sparse.to_dense())
 
@@ -302,6 +471,7 @@ def build_synopsis(
     q: Union[np.ndarray, SparseFunction],
     family: str,
     k: int,
+    measure_error: bool = True,
     **options: Any,
 ) -> BuildResult:
     """Build one synopsis of ``q`` and attach size/error/time metadata.
@@ -315,6 +485,12 @@ def build_synopsis(
     k:
         Piece budget (families interpret it as their natural competitor
         budget; see each builder's docstring).
+    measure_error:
+        Compute the exact l2 error against the build input (the default).
+        Passing ``False`` — or registering the family with
+        ``measures_error=False`` — skips the O(n) error pass and reports
+        :data:`~repro.core.errorutil.UNMEASURED` instead; downstream
+        comparisons must stay NaN-safe (see :mod:`repro.core.errorutil`).
     options:
         Extra keyword arguments forwarded to the family builder.
     """
@@ -325,11 +501,25 @@ def build_synopsis(
         )
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    spec = _BUILDERS[family]
+    input_kind = "sparse" if isinstance(q, SparseFunction) else "dense"
+    if input_kind not in spec.inputs:
+        raise TypeError(
+            f"family {family!r} does not accept {input_kind} inputs; "
+            f"supported: {', '.join(spec.inputs)}"
+        )
     sparse = _as_sparse(q)
     start = time.perf_counter()
-    synopsis = _BUILDERS[family](sparse, k, **options)
+    synopsis = spec.fn(sparse, k, **options)
     elapsed = time.perf_counter() - start
-    if isinstance(synopsis, (Histogram, PiecewisePolynomial)):
+    if spec.lossless:
+        # Exact by construction: reporting 0.0 directly keeps tight error
+        # budgets satisfiable (the prefix-sum formula's cancellation
+        # would report a spurious ~1e-5 floor for a bitwise-equal copy).
+        error = 0.0
+    elif not (measure_error and spec.measures_error):
+        error = UNMEASURED
+    elif isinstance(synopsis, (Histogram, PiecewisePolynomial)):
         error = synopsis.l2_to_sparse(sparse)
     elif isinstance(synopsis, WaveletSynopsis):
         error = synopsis.error

@@ -16,12 +16,21 @@ directories are detected automatically)::
     cdf <name> <x>            P[X <= x]
     quantile <name> <q>       smallest x with CDF(x) >= q
     topk <name> <m>           the m heaviest buckets
+    inner <a> <b>             inner product of two stored synopses
     summary                   store metadata
     inspect <name>            one entry: metadata, shard, cache counters
+    plan <name>               an auto-planned entry's decision record
     shards                    per-shard entry counts
     cache                     cache statistics (global + per entry)
     save <dir>                persist the store (atomic replace)
     quit                      exit
+
+``--families auto`` (or ``--family auto`` on ``query``) turns family
+selection over to the build planner: state a budget with ``--max-bytes``
+/ ``--max-error`` / ``--max-build-ms`` and the planner probes the cheap
+merging families first, escalating to the expensive exact-DP/poly tiers
+only when no cheap candidate satisfies it (``plan <name>`` prints the
+full decision record).
 
 The persistence commands operate on store directories written by
 ``SynopsisStore.save`` / ``ShardRouter.save`` (JSON manifests +
@@ -49,6 +58,7 @@ from typing import Optional, Sequence, TextIO
 
 import numpy as np
 
+from ..core.errorutil import error_sort_key, format_error
 from ..datasets import offline_datasets
 from .builders import SYNOPSIS_FAMILIES
 from .engine import QueryEngine
@@ -58,6 +68,7 @@ from .persistence import (
     read_manifest,
     read_sharded_manifest,
 )
+from .planner import BuildBudget
 from .router import ShardRouter
 from .store import SynopsisStore
 
@@ -97,8 +108,42 @@ def _families_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--families",
         default="merging,wavelet,gks,poly",
-        help="comma-separated synopsis families to register",
+        help="comma-separated synopsis families to register; 'auto' "
+        "plans the family/k from the --max-bytes/--max-error/"
+        "--max-build-ms budget",
     )
+
+
+def _budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-bytes",
+        type=float,
+        default=None,
+        help="auto-planning budget: max stored synopsis bytes",
+    )
+    parser.add_argument(
+        "--max-error",
+        type=float,
+        default=None,
+        help="auto-planning budget: max exact l2 build error",
+    )
+    parser.add_argument(
+        "--max-build-ms",
+        type=float,
+        default=None,
+        help="auto-planning budget: max per-candidate build time (ms)",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace) -> BuildBudget:
+    try:
+        return BuildBudget(
+            max_bytes=args.max_bytes,
+            max_error=args.max_error,
+            max_build_ms=args.max_build_ms,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _shards_argument(parser: argparse.ArgumentParser) -> None:
@@ -124,10 +169,16 @@ def _build_family_router(args: argparse.Namespace) -> ShardRouter:
         family = family.strip()
         if not family:
             continue
+        if family == "auto":
+            try:
+                router.register_auto(family, values, _budget_from_args(args))
+            except ValueError as exc:  # infeasible or unconstrained budget
+                raise SystemExit(f"error: {exc}")
+            continue
         if family not in SYNOPSIS_FAMILIES:
             raise SystemExit(
                 f"unknown synopsis family {family!r}; "
-                f"available: {', '.join(sorted(SYNOPSIS_FAMILIES))}"
+                f"available: auto, {', '.join(sorted(SYNOPSIS_FAMILIES))}"
             )
         router.register(family, values, family=family, k=args.k)
     return router
@@ -191,11 +242,13 @@ def _save_router(router: ShardRouter, target: str) -> None:
 def _summary_line(meta: dict) -> str:
     line = (
         f"{meta['name']}: family={meta['family']} pieces={meta['pieces']} "
-        f"stored={meta['stored_numbers']} error={meta['error']:.6g} "
+        f"stored={meta['stored_numbers']} error={format_error(meta['error'])} "
         f"version={meta['version']}"
     )
     if "shard" in meta:
         line += f" shard={meta['shard']}"
+    if meta.get("planned"):
+        line += " planned"
     if meta.get("streaming"):
         line += f" streaming samples={meta.get('samples_seen', 0)}"
     return line
@@ -207,13 +260,26 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro query", description=query_main.__doc__
     )
     _dataset_arguments(parser)
+    _budget_arguments(parser)
     parser.add_argument(
-        "--family", default="merging", choices=sorted(SYNOPSIS_FAMILIES)
+        "--family",
+        default="merging",
+        choices=["auto"] + sorted(SYNOPSIS_FAMILIES),
+        help="synopsis family; 'auto' plans it from the budget flags",
     )
     parser.add_argument(
         "--kind",
         default="range_sum",
-        choices=["range_sum", "range_mean", "point_mass", "cdf", "quantile"],
+        choices=[
+            "range_sum",
+            "range_mean",
+            "point_mass",
+            "cdf",
+            "quantile",
+            "inner_product",
+        ],
+        help="query kind; inner_product pairs the synopsis with a "
+        "lossless 'exact' synopsis of the same dataset",
     )
     parser.add_argument("--num-queries", type=int, default=10_000)
     parser.add_argument("--show", type=int, default=5, help="answers to print")
@@ -221,12 +287,29 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
 
     values = _load_dataset(args.dataset, args.n, args.seed)
     store = SynopsisStore()
-    entry = store.register(args.dataset, values, family=args.family, k=args.k)
+    if args.family == "auto":
+        try:
+            entry = store.register_auto(
+                args.dataset, values, _budget_from_args(args)
+            )
+        except ValueError as exc:  # infeasible or unconstrained budget
+            raise SystemExit(f"error: {exc}")
+        for line in entry.plan.explain():
+            print(line)
+    else:
+        entry = store.register(args.dataset, values, family=args.family, k=args.k)
     engine = QueryEngine(store)
 
     rng = np.random.default_rng(args.seed + 1)
     n = entry.result.n
-    if args.kind in ("range_sum", "range_mean"):
+    if args.kind == "inner_product":
+        reference = f"{args.dataset}#exact"
+        store.register(reference, values, family="exact", k=1)
+        run = lambda: [
+            engine.inner_product(args.dataset, reference)
+            for _ in range(args.num_queries)
+        ]
+    elif args.kind in ("range_sum", "range_mean"):
         a = rng.integers(0, n, args.num_queries)
         b = rng.integers(0, n, args.num_queries)
         a, b = np.minimum(a, b), np.maximum(a, b)
@@ -254,7 +337,8 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         f"{meta['family']} synopsis of {args.dataset!r}: n={meta['n']} "
         f"pieces={meta['pieces']} stored={meta['stored_numbers']} "
-        f"error={meta['error']:.6g} build={meta['build_seconds'] * 1e3:.2f}ms"
+        f"error={format_error(meta['error'])} "
+        f"build={meta['build_seconds'] * 1e3:.2f}ms"
     )
     shown = np.atleast_1d(answers)[: args.show]
     print(f"{args.kind} x {args.num_queries}: first {shown.size} answers: "
@@ -297,6 +381,7 @@ def serve_main(
     )
     _dataset_arguments(parser)
     _families_argument(parser)
+    _budget_arguments(parser)
     _shards_argument(parser)
     parser.add_argument(
         "--store-dir",
@@ -321,8 +406,8 @@ def serve_main(
     print(
         f"serving {len(router)} synopses of {source} on "
         f"{router.num_shards} shard(s) ({', '.join(router.names())}); "
-        f"commands: range mean point cdf quantile topk summary inspect "
-        f"shards cache save quit",
+        f"commands: range mean point cdf quantile topk inner summary "
+        f"inspect plan shards cache save quit",
         file=out,
     )
     for line in src:
@@ -357,6 +442,19 @@ def serve_main(
                         f"({', '.join(shard.store.names()) or '-'})",
                         file=out,
                     )
+            elif cmd == "plan":
+                plan = router.plan_of(words[1])
+                if plan is None:
+                    print(
+                        f"entry {words[1]!r} was not auto-planned "
+                        f"(registered with an explicit family)",
+                        file=out,
+                    )
+                else:
+                    for line in plan.explain():
+                        print(line, file=out)
+            elif cmd == "inner":
+                _print_answer(out, router.inner_product(words[1], words[2]))
             elif cmd == "range":
                 name, a, b = words[1], int(words[2]), int(words[3])
                 _print_answer(out, router.range_sum(name, a, b))
@@ -396,6 +494,7 @@ def save_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _dataset_arguments(parser)
     _families_argument(parser)
+    _budget_arguments(parser)
     _shards_argument(parser)
     parser.add_argument("--store-dir", required=True, help="output store directory")
     args = parser.parse_args(argv)
@@ -452,20 +551,74 @@ def load_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _print_manifest_entries(store_dir: str, manifest: dict) -> None:
-    for record in manifest["entries"]:
+def _manifest_entry_error(record) -> float:
+    """An entry record's error as a float.
+
+    Absent or null errors are legitimately *unmeasured* (NaN); a present
+    but unparseable value is manifest rot and must fail loudly, exactly
+    like every other rotted field — ``inspect`` printing "unmeasured"
+    for a store that ``load`` rejects would mask the corruption.
+    Structurally rotted records (not a dict at all) return NaN here so
+    the per-entry print loop reports them with its own clear error.
+    """
+    result = record.get("result", {}) if isinstance(record, dict) else {}
+    value = result.get("error") if isinstance(result, dict) else None
+    if value is None:
+        return float("nan")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise SystemExit(
+            f"error: invalid manifest entry error value {value!r}"
+        )
+
+
+def _sorted_manifest_entries(manifest: dict, sort_by: str) -> list:
+    """Manifest entries ordered for ``inspect`` — NaN-safe by design.
+
+    Sorting on the raw error float would scatter unmeasured (NaN) entries
+    wherever the input order left them (every NaN comparison is false);
+    :func:`~repro.core.errorutil.error_sort_key` pins them in an explicit
+    bucket after all measured errors instead.
+    """
+    entries = list(manifest["entries"])
+    if sort_by == "error":
+        entries.sort(key=lambda r: error_sort_key(_manifest_entry_error(r)))
+    elif sort_by == "stored":
+        try:
+            entries.sort(
+                key=lambda r: int(r.get("result", {}).get("stored_numbers", 0))
+                if isinstance(r, dict)
+                else 0
+            )
+        except (AttributeError, TypeError, ValueError):
+            pass  # rotted records are reported entry by entry below
+    return entries
+
+
+def _print_manifest_entries(
+    store_dir: str, manifest: dict, sort_by: str = "manifest"
+) -> None:
+    for record in _sorted_manifest_entries(manifest, sort_by):
         try:
             result = record.get("result", {})
             line = (
                 f"{record.get('name')}: family={result.get('family')} "
                 f"k={result.get('k')} n={result.get('n')} "
                 f"pieces={result.get('pieces')} stored={result.get('stored_numbers')} "
-                f"error={float(result.get('error', float('nan'))):.6g} "
+                f"error={format_error(_manifest_entry_error(record))} "
                 f"version={record.get('version')} payload={record.get('payload')}"
             )
+            if record.get("plan") is not None:
+                plan = record["plan"]
+                chosen = plan["candidates"][int(plan["chosen_index"])]
+                line += (
+                    f" planned[{chosen.get('family')}@k={chosen.get('k')} "
+                    f"of {len(plan['candidates'])} candidates]"
+                )
             if record.get("streaming"):
                 line += f" streaming samples={record.get('samples_seen', 0)}"
-        except (AttributeError, TypeError, ValueError) as exc:
+        except (AttributeError, TypeError, ValueError, KeyError, IndexError) as exc:
             raise SystemExit(
                 f"error: invalid manifest entry in {store_dir}: {exc}"
             )
@@ -478,6 +631,14 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro inspect", description=inspect_main.__doc__
     )
     parser.add_argument("store_dir", help="store directory to inspect")
+    parser.add_argument(
+        "--sort",
+        default="manifest",
+        choices=["manifest", "error", "stored"],
+        help="entry order: manifest order (default), by build error "
+        "(unmeasured errors sort last, never silently first), or by "
+        "stored size",
+    )
     _shards_argument(parser)
     args = parser.parse_args(argv)
 
@@ -504,7 +665,7 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{shard_dir}: schema={manifest['schema']} "
                     f"entries={len(manifest['entries'])}"
                 )
-                _print_manifest_entries(str(shard_path), manifest)
+                _print_manifest_entries(str(shard_path), manifest, args.sort)
             return 0
         if args.shards is not None and args.shards != 1:
             raise SystemExit(
@@ -518,5 +679,5 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
         f"{manifest['format']} schema={manifest['schema']} "
         f"entries={len(manifest['entries'])}"
     )
-    _print_manifest_entries(args.store_dir, manifest)
+    _print_manifest_entries(args.store_dir, manifest, args.sort)
     return 0

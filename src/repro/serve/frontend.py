@@ -49,11 +49,15 @@ QUERY_KINDS: Dict[str, int] = {
     "cdf": 1,
     "quantile": 1,
     "top_k": 1,
+    # args = (name_b,): the second stored synopsis to pair with.  Routed
+    # by name_a's shard; the pairing itself may cross shards.
+    "inner_product": 1,
 }
 
 # Kinds whose array arguments can be concatenated across requests and the
 # stacked answer split back per request.  top_k returns a bucket list per
-# request, so it always evaluates individually.
+# request (and inner_product pairs two entries), so those always evaluate
+# individually.
 _COALESCIBLE = ("range_sum", "range_mean", "point_mass", "cdf", "quantile")
 
 _REQUEST_ERRORS = (KeyError, ValueError, IndexError, TypeError, StoreCorruptionError)
@@ -201,6 +205,19 @@ class AsyncServingFrontend:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._executor, self.router.refresh, name)
 
+    async def register_auto(
+        self, name: str, data, budget, **plan_options: Any
+    ) -> StoreEntry:
+        """Auto-plan and register ``name`` (see ``ShardRouter.register_auto``),
+        off the event loop — candidate builds can take a while.  Planner
+        keywords (``families=``, ``k_grid=``, ...) pass through, so the
+        front end mirrors the store/router surface 1:1."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: self.router.register_auto(name, data, budget, **plan_options),
+        )
+
     # ------------------------------------------------------------------ #
     # Per-shard evaluation (runs on the thread pool)
     # ------------------------------------------------------------------ #
@@ -240,7 +257,16 @@ class AsyncServingFrontend:
     ) -> QueryResult:
         try:
             version, table = shard.engine.table_versioned(request.name)
-            value = _evaluate(table, request.kind, request.args)
+            if request.kind == "inner_product":
+                # The partner entry may live on another shard; pair its
+                # table from that shard's engine.  The reported version
+                # is the primary (routed) entry's snapshot.
+                partner = str(request.args[0])
+                value = table.inner_product(
+                    self.router.table_versioned(partner)[1]
+                )
+            else:
+                value = _evaluate(table, request.kind, request.args)
         except _REQUEST_ERRORS as exc:
             return QueryResult(
                 index=index, name=request.name, kind=request.kind, error=str(exc)

@@ -24,7 +24,9 @@ the parent manifest's explicit name-to-shard assignments make placement a
 persisted fact rather than a hash recomputation.
 
 The manifest carries everything ``summary()`` / ``describe()`` report —
-family, k, options, error, version, streaming counters — so a store loads
+family, k, options, error, version, streaming counters, and (schema 2)
+the serialized :class:`~repro.serve.planner.BuildPlan` decision record of
+auto-planned entries — so a store loads
 *lazily*: :func:`load_store` materializes only the manifest, and each
 entry's npz payload hydrates on its first query (or eagerly with
 ``lazy=False``).  Payloads are the universal type-tagged ``to_dict``
@@ -60,6 +62,7 @@ from .builders import (
     synopsis_kind,
     synopsis_to_dict,
 )
+from .planner import BuildPlan
 from .store import StoreEntry, SynopsisStore
 
 __all__ = [
@@ -80,7 +83,11 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 STORE_FORMAT = "repro-synopsis-store"
-STORE_SCHEMA_VERSION = 1
+# Schema 2 (build planner): entry records may carry a "plan" field — the
+# serialized BuildPlan decision record of an auto-planned entry.  Schema 1
+# stores (no plan fields) still load; loaders older than schema 2 refuse
+# schema-2 stores cleanly.
+STORE_SCHEMA_VERSION = 2
 SHARDED_FORMAT = "repro-synopsis-store-sharded"
 SHARDED_SCHEMA_VERSION = 1
 
@@ -196,6 +203,11 @@ def _manifest_entry(entry: StoreEntry, payload_name: str) -> Dict[str, Any]:
     }
     if entry.learner is not None:
         record["samples_seen"] = entry.learner.samples_seen
+    if entry.plan is not None:
+        # The planner's decision record is manifest metadata (schema 2):
+        # available without reading any payload, so a reloaded store can
+        # explain and re-derive its choices without rebuilding candidates.
+        record["plan"] = entry.plan.to_dict()
     return record
 
 
@@ -475,6 +487,8 @@ def _frozen_meta(record: Dict[str, Any], result: BuildResult) -> Dict[str, Any]:
     meta["streaming"] = bool(record.get("streaming", False))
     if meta["streaming"]:
         meta["samples_seen"] = int(record.get("samples_seen", 0))
+    if record.get("plan") is not None:
+        meta["planned"] = True
     return meta
 
 
@@ -514,6 +528,12 @@ def load_store(
             result = BuildResult.from_dict(record["result"])
             built_at_samples = int(record.get("built_at_samples", 0))
             frozen_meta = _frozen_meta(record, result)
+            plan_payload = record.get("plan")
+            plan = (
+                BuildPlan.from_dict(plan_payload)
+                if plan_payload is not None
+                else None
+            )
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise StoreCorruptionError(
                 f"invalid manifest entry in {path}: {exc}"
@@ -543,6 +563,7 @@ def load_store(
             version=version,
             learner=None,
             built_at_samples=built_at_samples,
+            plan=plan,
             hydrator=lambda e, p=payload_path, k=record.get(
                 "synopsis_kind"
             ), u=manifest.get("store_uid"): _hydrate_entry(e, p, k, u),

@@ -39,6 +39,7 @@ from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 from ..sampling.streaming import StreamingHistogramLearner
 from .engine import PrefixTable, QueryEngine
+from .planner import BuildBudget, BuildPlan
 from .store import StoreEntry, SynopsisStore
 
 __all__ = ["Shard", "ShardMap", "ShardRouter", "stable_shard"]
@@ -285,6 +286,42 @@ class ShardRouter:
                 name, learner, family=family, k=k, **options
             )
 
+    def register_auto(
+        self,
+        name: str,
+        data: Union[np.ndarray, SparseFunction],
+        budget: BuildBudget,
+        **plan_options: Any,
+    ) -> StoreEntry:
+        """Auto-plan the family/k for ``data`` on ``name``'s shard.
+
+        See :meth:`SynopsisStore.register_auto`; the decision record is
+        persisted with the shard's store.
+        """
+        shard = self.shards[self.shard_map.shard_of(name)]
+        with shard.write_lock:
+            self.shard_map.assign(name)
+            return shard.store.register_auto(name, data, budget, **plan_options)
+
+    def register_stream_auto(
+        self,
+        name: str,
+        learner: StreamingHistogramLearner,
+        budget: BuildBudget,
+        **plan_options: Any,
+    ) -> StoreEntry:
+        """Auto-plan a streaming-backed entry on ``name``'s shard."""
+        shard = self.shards[self.shard_map.shard_of(name)]
+        with shard.write_lock:
+            self.shard_map.assign(name)
+            return shard.store.register_stream_auto(
+                name, learner, budget, **plan_options
+            )
+
+    def plan_of(self, name: str) -> Optional[BuildPlan]:
+        """The persisted decision record of ``name`` (None if not planned)."""
+        return self._shard_for_registered(name).store[name].plan
+
     def extend(self, name: str, samples: np.ndarray) -> StoreEntry:
         shard = self._shard_for_registered(name)
         with shard.write_lock:
@@ -391,6 +428,18 @@ class ShardRouter:
 
     def top_k_buckets(self, name: str, m: int):
         return self._shard_for_registered(name).engine.top_k_buckets(name, m)
+
+    def inner_product(self, name_a: str, name_b: str) -> float:
+        """``<f_a, f_b>`` between two stored synopses, pairing across shards.
+
+        Each name's prefix table comes from its *own* shard's engine (so
+        both benefit from that shard's cache), and the closed-form
+        product runs on the caller's thread — no cross-shard locking, the
+        same consistency unit as two independent reads.
+        """
+        table_a = self._shard_for_registered(name_a).engine.table(name_a)
+        table_b = self._shard_for_registered(name_b).engine.table(name_b)
+        return table_a.inner_product(table_b)
 
     # ------------------------------------------------------------------ #
     # Resharding: a deliberate migration

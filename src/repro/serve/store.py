@@ -31,6 +31,13 @@ import numpy as np
 from ..core.sparse import SparseFunction
 from ..sampling.streaming import StreamingHistogramLearner
 from .builders import BuildResult, build_synopsis
+from .planner import (
+    BudgetInfeasibleError,
+    BuildBudget,
+    BuildPlan,
+    plan_build,
+    replan,
+)
 
 __all__ = ["StoreEntry", "SynopsisStore"]
 
@@ -52,6 +59,11 @@ class StoreEntry:
     version: int = 0
     learner: Optional[StreamingHistogramLearner] = None
     built_at_samples: int = 0
+    # The decision record of an auto-planned entry (register_auto /
+    # register_stream_auto); None for entries with an explicit family.
+    # Plans are metadata: persisted in the manifest, available before
+    # hydration, and replaced only when a refresh re-plans.
+    plan: Optional[BuildPlan] = field(default=None, repr=False, compare=False)
     hydrator: Optional[Callable[["StoreEntry"], None]] = field(
         default=None, repr=False, compare=False
     )
@@ -117,6 +129,8 @@ class StoreEntry:
         meta["streaming"] = self.is_streaming
         if self.learner is not None:
             meta["samples_seen"] = self.learner.samples_seen
+        if self.plan is not None:
+            meta["planned"] = True
         return meta
 
 
@@ -153,6 +167,55 @@ class SynopsisStore:
         result = build_synopsis(data, family, k, **options)
         return self._install(name, result, learner=None)
 
+    def register_auto(
+        self,
+        name: str,
+        data: Union[np.ndarray, SparseFunction],
+        budget: BuildBudget,
+        families: Optional[Any] = None,
+        k_grid: Optional[Any] = None,
+        **plan_options: Any,
+    ) -> StoreEntry:
+        """Plan the family/k for ``data`` under ``budget`` and store it.
+
+        The planner's full decision record (:class:`BuildPlan`) is kept on
+        the entry and persisted with the store, so a reloaded store can
+        explain and re-derive the choice without rebuilding candidates.
+        Raises :exc:`~repro.serve.planner.BudgetInfeasibleError` when no
+        family satisfies the budget.
+        """
+        plan = plan_build(
+            data, budget, families=families, k_grid=k_grid, **plan_options
+        )
+        return self._install(name, plan.result, learner=None, plan=plan)
+
+    def register_stream_auto(
+        self,
+        name: str,
+        learner: StreamingHistogramLearner,
+        budget: BuildBudget,
+        families: Optional[Any] = None,
+        k_grid: Optional[Any] = None,
+        **plan_options: Any,
+    ) -> StoreEntry:
+        """Auto-plan a synopsis of a streaming learner's current state.
+
+        Combines :meth:`register_auto` with :meth:`register_stream`: the
+        plan is derived from the learner's empirical distribution, and
+        :meth:`refresh` re-plans (same budget, families, and k-grid)
+        whenever the learner's drift watermark has moved.
+        """
+        plan = plan_build(
+            learner.empirical(),
+            budget,
+            families=families,
+            k_grid=k_grid,
+            **plan_options,
+        )
+        entry = self._install(name, plan.result, learner=learner, plan=plan)
+        entry.built_at_samples = learner.samples_seen
+        return entry
+
     def register_stream(
         self,
         name: str,
@@ -179,7 +242,14 @@ class SynopsisStore:
         name: str,
         result: BuildResult,
         learner: Optional[StreamingHistogramLearner],
+        plan: Optional[BuildPlan] = None,
     ) -> StoreEntry:
+        if plan is not None:
+            # The chosen build now lives in entry.result; keeping the
+            # duplicate reference on the plan would pin the synopsis (an
+            # O(n) copy for the lossless family) even after later
+            # refreshes replace the entry's own result.
+            plan.result = None
         with self._lock:
             version = self._last_versions.get(name, -1) + 1
             self._last_versions[name] = version
@@ -188,6 +258,7 @@ class SynopsisStore:
                 result=result,
                 version=version,
                 learner=learner,
+                plan=plan,
             )
             self._entries[name] = entry
             return entry
@@ -199,21 +270,50 @@ class SynopsisStore:
     def refresh(self, name: str) -> StoreEntry:
         """Rebuild a streaming-backed entry from its learner's current state.
 
+        An auto-planned entry (:meth:`register_stream_auto`) *re-plans* —
+        same budget, families, and k-grid — but only when the learner's
+        drift watermark has moved (``stale_since`` the last build); a
+        forced refresh on an undrifted stream just rebuilds the
+        previously chosen ``(family, k)`` and keeps the plan, so planning
+        cost is paid at the learner's amortized refresh cadence, not per
+        call.  If the drifted distribution makes the frozen budget
+        infeasible, the refresh degrades gracefully instead of failing
+        data ingestion: the incumbent ``(family, k)`` is rebuilt on the
+        fresh data and the previous decision record is kept — the entry
+        keeps serving, and the next watermark crossing re-plans again.
+
         The (possibly expensive) synopsis build runs outside the store
         lock — concurrent writers are serialized by the caller's per-shard
-        write lock — and the ``(result, version)`` swap is atomic under it,
-        so a concurrent :meth:`snapshot` sees either the old pair or the
-        new pair, never a half-bumped entry.
+        write lock — and the ``(result, version, plan)`` swap is atomic
+        under it, so a concurrent :meth:`snapshot` sees either the old
+        state or the new state, never a half-bumped entry.
         """
         entry = self[name]
         entry.hydrate()
         if entry.learner is None:
             raise ValueError(f"entry {name!r} is not backed by a stream")
-        result = build_synopsis(
-            entry.learner.empirical(), entry.family, entry.k, **entry.options
-        )
+        plan = entry.plan
+        result = None
+        if plan is not None and entry.learner.stale_since(entry.built_at_samples):
+            try:
+                plan = replan(plan, entry.learner.empirical())
+                result = plan.result
+            except BudgetInfeasibleError:
+                # The stream drifted somewhere the budget can't follow.
+                # Raising here would poison extend() — the samples are
+                # already absorbed — so keep serving with the incumbent
+                # spec (and its decision record) instead of wedging the
+                # entry; the next watermark crossing re-plans again.
+                plan = entry.plan
+        if result is None:
+            result = build_synopsis(
+                entry.learner.empirical(), entry.family, entry.k, **entry.options
+            )
+        if plan is not None:
+            plan.result = None  # entry.result owns the synopsis (see _install)
         with self._lock:
             entry.result = result
+            entry.plan = plan
             entry.version = self._last_versions[name] = entry.version + 1
             entry.built_at_samples = entry.learner.samples_seen
         return entry

@@ -26,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
+    BuildBudget,
     QueryEngine,
     ShardRouter,
     StreamingHistogramLearner,
@@ -65,6 +66,11 @@ def _register_all(target) -> None:
     learner = StreamingHistogramLearner(n=N, k=3)
     learner.extend(golden_samples())
     target.register_stream("live", learner)
+    # An auto-planned entry (schema 2): its BuildPlan decision record
+    # persists in the manifest, so the golden store also guards the plan
+    # schema.  No time budget — the decision is then fully deterministic
+    # (build_ms fields are recorded but don't influence the choice).
+    target.register_auto("auto", signal, BuildBudget(max_bytes=200))
 
 
 def build_store() -> SynopsisStore:

@@ -772,7 +772,7 @@ class TestPersistenceCLI:
 
         assert main(["inspect", store_dir]) == 0
         out = capsys.readouterr().out
-        assert "repro-synopsis-store schema=1 entries=2" in out
+        assert "repro-synopsis-store schema=2 entries=2" in out
         assert "payload=entry-0000.npz" in out
 
         assert main(["load", store_dir]) == 0

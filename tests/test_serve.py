@@ -548,6 +548,99 @@ class TestPrefixTable:
         np.testing.assert_array_equal(table.quantile(qs), want)
 
 
+class TestInnerProduct:
+    """The richer-queries satellite: <f, g> between two stored synopses."""
+
+    @pytest.mark.parametrize("family_b", SYNOPSIS_FAMILIES)
+    def test_matches_dense_dot_for_every_pair(self, family_engines, family_b):
+        store, engine = family_engines
+        dense_b = store[family_b].synopsis.to_dense()
+        for family_a in ("merging", "poly", "exact"):
+            dense_a = store[family_a].synopsis.to_dense()
+            got = engine.inner_product(family_a, family_b)
+            assert isinstance(got, float)
+            assert got == pytest.approx(float(np.dot(dense_a, dense_b)), abs=1e-9)
+
+    def test_symmetric_and_self_is_squared_norm(self, family_engines):
+        store, engine = family_engines
+        assert engine.inner_product("merging", "wavelet") == pytest.approx(
+            engine.inner_product("wavelet", "merging")
+        )
+        dense = store["merging"].synopsis.to_dense()
+        assert engine.inner_product("merging", "merging") == pytest.approx(
+            float(np.dot(dense, dense))
+        )
+
+    def test_closed_form_used_for_constant_pieces(self, family_engines):
+        # The merged-partition closed form is O(k_a + k_b): it must not
+        # densify the domain for piecewise-constant tables.
+        _, engine = family_engines
+        table = engine.table("merging")
+        other = engine.table("wavelet")
+        calls = []
+        original = PrefixTable.point_mass
+        try:
+            PrefixTable.point_mass = lambda self, x: calls.append(1) or original(
+                self, x
+            )
+            table.inner_product(other)
+        finally:
+            PrefixTable.point_mass = original
+        assert calls == []
+
+    def test_mismatched_domains_raise(self, family_engines):
+        _, engine = family_engines
+        store2 = SynopsisStore()
+        store2.register("short", random_distribution(100), family="merging", k=4)
+        other = QueryEngine(store2).table("short")
+        with pytest.raises(ValueError, match="matching domains"):
+            engine.table("merging").inner_product(other)
+
+    def test_router_pairs_across_shards(self):
+        from repro import ShardMap
+        from repro.serve.router import ShardRouter
+
+        values = random_distribution(300)
+        # Pin the two entries to different shards so the pairing is
+        # genuinely cross-shard.
+        router = ShardRouter(num_shards=2, shard_map=ShardMap(2, {"a": 0, "b": 1}))
+        router.register("a", values, family="merging", k=6)
+        router.register("b", values, family="wavelet", k=6)
+        dense_a = router["a"].synopsis.to_dense()
+        dense_b = router["b"].synopsis.to_dense()
+        assert router.inner_product("a", "b") == pytest.approx(
+            float(np.dot(dense_a, dense_b))
+        )
+        with pytest.raises(KeyError, match="registered"):
+            router.inner_product("a", "missing")
+
+    def test_frontend_request_kind(self):
+        import asyncio
+
+        from repro import ShardMap
+        from repro.serve.frontend import AsyncServingFrontend, QueryRequest
+        from repro.serve.router import ShardRouter
+
+        values = random_distribution(300)
+        router = ShardRouter(num_shards=2, shard_map=ShardMap(2, {"a": 0, "b": 1}))
+        router.register("a", values, family="merging", k=6)
+        router.register("b", values, family="wavelet", k=6)
+        requests = [
+            QueryRequest("inner_product", "a", ("b",)),
+            QueryRequest("inner_product", "b", ("a",)),
+            QueryRequest("inner_product", "a", ("missing",)),
+            QueryRequest("range_sum", "a", (0, 99)),
+        ]
+        with AsyncServingFrontend(router) as frontend:
+            results = asyncio.run(frontend.query_batch(requests))
+        want = router.inner_product("a", "b")
+        assert results[0].ok and results[0].value == pytest.approx(want)
+        assert results[1].ok and results[1].value == pytest.approx(want)
+        assert not results[2].ok and "missing" in results[2].error
+        assert results[3].ok  # a poisoned pairing never fails the batch
+        assert results[0].version == router["a"].version
+
+
 class TestServeCLI:
     def test_query_subcommand(self, capsys):
         assert main(["query", "--n", "512", "--k", "4", "--num-queries", "100"]) == 0
@@ -591,3 +684,55 @@ class TestServeCLI:
     def test_unknown_command_still_errors(self, capsys):
         assert main(["bogus"]) == 2
         assert "query" in capsys.readouterr().out
+
+    def test_query_inner_product_kind(self, capsys):
+        assert main(
+            ["query", "--n", "256", "--kind", "inner_product",
+             "--num-queries", "20"]
+        ) == 0
+        assert "inner_product x 20" in capsys.readouterr().out
+
+    def test_query_auto_family_prints_plan(self, capsys):
+        assert main(
+            ["query", "--n", "512", "--family", "auto", "--max-bytes", "300",
+             "--num-queries", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out and "queries/sec" in out
+
+    def test_query_auto_infeasible_budget_errors_cleanly(self):
+        with pytest.raises(SystemExit, match="no synopsis family satisfies"):
+            main(
+                ["query", "--n", "256", "--family", "auto",
+                 "--max-bytes", "8", "--max-error", "1e-12"]
+            )
+
+    def test_auto_without_budget_flags_errors_cleanly(self):
+        # --family auto with no bounds at all would degenerate to the
+        # lossless O(n) copy; both CLIs surface the planner's refusal.
+        with pytest.raises(SystemExit, match="unconstrained budget"):
+            main(["query", "--n", "256", "--family", "auto"])
+        from repro.serve.cli import serve_main
+
+        with pytest.raises(SystemExit, match="unconstrained budget"):
+            serve_main(["--n", "256", "--families", "auto"])
+
+    def test_serve_auto_family_and_plan_command(self):
+        from repro.serve.cli import serve_main
+
+        commands = io.StringIO(
+            "summary\nplan auto\nplan merging\ninner auto merging\n"
+            "range auto 0 100\nquit\n"
+        )
+        out = io.StringIO()
+        assert serve_main(
+            ["--n", "512", "--k", "4", "--families", "merging,auto",
+             "--max-error", "2.5"],
+            stdin=commands,
+            stdout=out,
+        ) == 0
+        text = out.getvalue()
+        assert "planned" in text  # summary marks the auto entry
+        assert "chosen:" in text  # plan auto prints the decision record
+        assert "not auto-planned" in text  # plan merging explains itself
+        assert "probe" in text  # candidate lines include the cost class
