@@ -20,7 +20,9 @@ Serving commands:
 * ``serve``       — register synopses (or load a persisted store with
   ``--store-dir``) and answer queries from stdin; ``--shards N`` serves
   from N concurrent store/engine shards; ``plan <name>`` prints an
-  auto-planned entry's decision record
+  auto-planned entry's decision record; ``--window W`` adds a
+  sliding-window streaming entry answering the ``heavy`` command
+  (approximate heavy hitters over the live window)
 * ``save``        — build synopses and persist the store to a directory
   (``--shards N`` writes the sharded layout; ``--families auto`` plans)
 * ``load``        — load + fully validate a persisted store (plain or

@@ -11,6 +11,7 @@ from .learner import (
     resolve_sample_input,
 )
 from .streaming import StreamingHistogramLearner
+from .windowed import MisraGries, WindowedStreamLearner
 from .theory import (
     distinguishing_error,
     expected_empirical_l2,
@@ -22,8 +23,10 @@ from .theory import (
 __all__ = [
     "DiscreteDistribution",
     "LearnedHistogram",
+    "MisraGries",
     "MultiscaleLearner",
     "StreamingHistogramLearner",
+    "WindowedStreamLearner",
     "distinguishing_error",
     "draw_empirical",
     "empirical_from_samples",

@@ -11,11 +11,22 @@ stream: after ``m`` total samples the current histogram has error
 This is a natural engineering extension of the paper, in the spirit of the
 histogram-maintenance literature it cites ([GMP97], [GGI+02]); it is not an
 algorithm from the paper itself.
+
+Counts are kept vectorized, not in a Python dict.  For universes up to
+:data:`~StreamingHistogramLearner.DENSE_UNIVERSE_LIMIT` the learner holds
+a dense ``int64`` count array and absorbing a batch is one
+``np.bincount`` plus one vector add — O(batch + n) with tiny constants.
+Larger universes fall back to sorted position/count arrays merged by
+:func:`merge_sorted_counts` — O(batch log batch + support) with no
+Python-level loop.  Both paths produce bit-identical counts, and
+:meth:`~StreamingHistogramLearner.empirical` reads them straight into a
+:class:`~repro.core.sparse.SparseFunction` cached behind a dirty flag, so
+repeated calls with no new samples cost nothing.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +35,164 @@ from ..core.merging import construct_histogram_partition
 from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 
-__all__ = ["StreamingHistogramLearner"]
+__all__ = [
+    "CountAggregate",
+    "StreamingHistogramLearner",
+    "merge_sorted_counts",
+    "subtract_sorted_counts",
+]
+
+
+def merge_sorted_counts(
+    base_positions: np.ndarray,
+    base_counts: np.ndarray,
+    positions: np.ndarray,
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Accumulate ``np.unique`` output into sorted count arrays, vectorized.
+
+    ``base_positions`` and ``positions`` must both be strictly increasing;
+    counts at positions already present are added in place (``positions``
+    is unique, so fancy-index assignment never aliases), new positions are
+    spliced in with one :func:`np.insert`.  O(batch + support), no Python
+    loop.  Returns the (possibly reallocated) arrays.
+    """
+    if base_positions.size == 0:
+        return positions.astype(np.int64, copy=True), counts.copy()
+    insert_at = np.searchsorted(base_positions, positions)
+    clipped = np.minimum(insert_at, base_positions.size - 1)
+    hit = base_positions[clipped] == positions
+    base_counts[insert_at[hit]] += counts[hit]
+    miss = ~hit
+    if miss.any():
+        base_positions = np.insert(base_positions, insert_at[miss], positions[miss])
+        base_counts = np.insert(base_counts, insert_at[miss], counts[miss])
+    return base_positions, base_counts
+
+
+def subtract_sorted_counts(
+    base_positions: np.ndarray,
+    base_counts: np.ndarray,
+    positions: np.ndarray,
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Remove counts from sorted count arrays, pruning exhausted positions.
+
+    Every entry of ``positions`` must already be present in
+    ``base_positions`` with a count at least as large (the sliding-window
+    expiry invariant: an epoch's counts are a sub-multiset of the window's).
+    """
+    if positions.size == 0:
+        return base_positions, base_counts
+    slots = np.searchsorted(base_positions, positions)
+    if (
+        slots.size
+        and (slots[-1] >= base_positions.size
+             or np.any(base_positions[slots] != positions))
+    ):
+        raise ValueError("cannot subtract counts at positions not present")
+    # Validate before mutating: a caller catching the error must not be
+    # left holding a half-subtracted (negative) count array.
+    if np.any(base_counts[slots] < counts):
+        raise ValueError("cannot subtract more counts than present")
+    base_counts[slots] -= counts
+    keep = base_counts > 0
+    if keep.all():
+        return base_positions, base_counts
+    return base_positions[keep], base_counts[keep]
+
+
+class CountAggregate:
+    """Hybrid dense/sparse nonnegative integer counts over ``[0, n)``.
+
+    The one count-accumulation engine behind both streaming learners.
+    Moderate universes (``use_dense``) keep a dense ``int64`` array —
+    ingest is a ``np.bincount`` + vector add for large batches or a
+    scatter-add of unique positions for small ones (a 3-sample batch must
+    never pay an O(n) pass) — while huge universes keep sorted
+    position/count arrays merged by :func:`merge_sorted_counts`.  Both
+    paths produce bit-identical counts; :meth:`arrays` materializes the
+    sorted view lazily behind a dirty flag.
+    """
+
+    __slots__ = ("n", "use_dense", "_dense", "_positions", "_counts", "_dirty")
+
+    def __init__(self, n: int, use_dense: bool) -> None:
+        self.n = int(n)
+        self.use_dense = bool(use_dense)
+        self._dense: Optional[np.ndarray] = None  # allocated on first batch
+        self._positions = np.empty(0, dtype=np.int64)
+        self._counts = np.empty(0, dtype=np.int64)
+        self._dirty = False  # dense counts newer than the sorted arrays
+
+    def add_raw(self, arr: np.ndarray) -> None:
+        """Absorb a raw (unaggregated) batch of positions."""
+        if self.use_dense:
+            if self._dense is None:
+                self._dense = np.zeros(self.n, dtype=np.int64)
+            if 4 * arr.size >= self.n:
+                # Large batch: one full-universe bincount + vector add is
+                # the fastest path (two linear passes, no sort).
+                self._dense += np.bincount(arr, minlength=self.n)
+            else:
+                positions, counts = np.unique(arr, return_counts=True)
+                self._dense[positions] += counts
+            self._dirty = True
+        else:
+            positions, counts = np.unique(arr, return_counts=True)
+            self.add_unique(positions, counts)
+
+    def add_unique(self, positions: np.ndarray, counts: np.ndarray) -> None:
+        """Absorb already-aggregated ``np.unique`` output."""
+        if self.use_dense:
+            if self._dense is None:
+                self._dense = np.zeros(self.n, dtype=np.int64)
+            self._dense[positions] += counts
+            self._dirty = True
+        else:
+            self._positions, self._counts = merge_sorted_counts(
+                self._positions, self._counts, positions, counts
+            )
+
+    def subtract_unique(self, positions: np.ndarray, counts: np.ndarray) -> None:
+        """Remove aggregated counts (the sliding-window expiry primitive).
+
+        Both paths validate before mutating — subtracting counts that are
+        not fully present raises and leaves the aggregate untouched, never
+        negative.
+        """
+        if self.use_dense:
+            if positions.size and (positions[0] < 0 or positions[-1] >= self.n):
+                raise ValueError("cannot subtract counts at positions not present")
+            if self._dense is None or np.any(self._dense[positions] < counts):
+                raise ValueError("cannot subtract more counts than present")
+            self._dense[positions] -= counts
+            self._dirty = True
+        else:
+            self._positions, self._counts = subtract_sorted_counts(
+                self._positions, self._counts, positions, counts
+            )
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The sorted ``(positions, counts)`` view (materialized lazily)."""
+        if self._dirty:
+            self._positions = np.flatnonzero(self._dense)
+            self._counts = self._dense[self._positions]
+            self._dirty = False
+        return self._positions, self._counts
+
+    @property
+    def support_size(self) -> int:
+        return int(self.arrays()[0].size)
+
+    def load(self, positions: np.ndarray, counts: np.ndarray) -> None:
+        """Adopt validated sorted arrays (the deserialization path)."""
+        self._positions = positions
+        self._counts = counts
+        self._dirty = False
+        if self.use_dense and positions.size:
+            self._dense = np.zeros(self.n, dtype=np.int64)
+            self._dense[positions] = counts
 
 
 class StreamingHistogramLearner:
@@ -45,6 +213,13 @@ class StreamingHistogramLearner:
         amortizes the O(support) merge cost to O(1) per sample).
     """
 
+    #: Universes up to this size accumulate into a dense int64 count array
+    #: (8 bytes per position: 32 MiB at the default) — one ``np.bincount``
+    #: plus a vector add per batch, the fastest ingest path by far.
+    #: Larger universes use sorted sparse arrays instead, trading a
+    #: log-factor of speed for O(support) memory.
+    DENSE_UNIVERSE_LIMIT = 1 << 22
+
     def __init__(
         self,
         n: int,
@@ -64,8 +239,11 @@ class StreamingHistogramLearner:
         self.merge_delta = merge_delta
         self.merge_gamma = merge_gamma
         self.refresh_factor = refresh_factor
-        self._counts: dict = {}
+        self._agg = CountAggregate(
+            self.n, use_dense=self.n <= self.DENSE_UNIVERSE_LIMIT
+        )
         self._total = 0
+        self._empirical: Optional[SparseFunction] = None
         self._cached: Optional[Histogram] = None
         self._cached_at = 0
 
@@ -77,7 +255,7 @@ class StreamingHistogramLearner:
 
     @property
     def support_size(self) -> int:
-        return len(self._counts)
+        return self._agg.support_size
 
     def extend(self, samples: np.ndarray) -> None:
         """Absorb a batch of samples (positions in ``[0, n)``)."""
@@ -86,27 +264,39 @@ class StreamingHistogramLearner:
             return
         if arr.min() < 0 or arr.max() >= self.n:
             raise ValueError("samples must lie in [0, n)")
-        positions, counts = np.unique(arr, return_counts=True)
-        for pos, cnt in zip(positions.tolist(), counts.tolist()):
-            self._counts[pos] = self._counts.get(pos, 0) + cnt
+        self._agg.add_raw(arr)
         self._total += int(arr.size)
+        self._empirical = None  # dirty: the next empirical() rebuilds once
 
     def empirical(self) -> SparseFunction:
-        """The current empirical distribution ``p_hat``."""
+        """The current empirical distribution ``p_hat`` (cached until dirty).
+
+        The stored counts are already sorted (or materialize in one
+        ``flatnonzero`` pass on the dense path), so a rebuild is
+        O(support); between extends the same :class:`SparseFunction` is
+        returned as-is.
+        """
         if self._total == 0:
             raise ValueError("no samples seen yet")
-        positions = np.asarray(sorted(self._counts), dtype=np.int64)
-        values = np.asarray([self._counts[int(p)] for p in positions], dtype=np.float64)
-        return SparseFunction(self.n, positions, values / self._total)
+        if self._empirical is None:
+            positions, counts = self._agg.arrays()
+            self._empirical = SparseFunction(
+                self.n, positions, counts / self._total
+            )
+        return self._empirical
 
     def stale_since(self, built_at: int) -> bool:
         """Whether a synopsis built at ``built_at`` samples is due a rebuild.
 
         The single source of the refresh policy: callers that cache a build
         externally (e.g. ``SynopsisStore``) share the same cadence as
-        :meth:`histogram`'s internal cache.
+        :meth:`histogram`'s internal cache.  A zero (or negative) watermark
+        means "never built", which is always stale — it must not wait for
+        ``total >= refresh_factor`` like a genuine 1-sample build would.
         """
-        return self._total >= self.refresh_factor * max(built_at, 1)
+        if built_at <= 0:
+            return True
+        return self._total >= self.refresh_factor * built_at
 
     def _stale(self) -> bool:
         if self._cached is None:
@@ -157,7 +347,7 @@ class StreamingHistogramLearner:
         :meth:`stale_since` identically to the original — same cached
         build, same refresh cadence.
         """
-        positions = sorted(self._counts)
+        positions, counts = self._agg.arrays()
         state = {
             "kind": self.kind,
             "schema": self.schema_version,
@@ -167,8 +357,8 @@ class StreamingHistogramLearner:
             "merge_gamma": self.merge_gamma,
             "refresh_factor": self.refresh_factor,
             "total": self._total,
-            "positions": positions,
-            "counts": [self._counts[p] for p in positions],
+            "positions": positions.tolist(),
+            "counts": counts.tolist(),
         }
         if self._cached is not None:
             state["cached"] = self._cached.to_dict()
@@ -198,7 +388,7 @@ class StreamingHistogramLearner:
             raise ValueError("positions must be strictly increasing in [0, n)")
         if np.any(counts <= 0):
             raise ValueError("counts must be positive")
-        learner._counts = dict(zip(positions.tolist(), counts.tolist()))
+        learner._agg.load(positions, counts)
         total = int(state["total"])
         if total != int(counts.sum()):
             raise ValueError("total does not match the summed counts")

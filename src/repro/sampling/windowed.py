@@ -1,0 +1,565 @@
+"""Sliding-window streaming: windowed histograms and heavy hitters.
+
+:class:`WindowedStreamLearner` extends the anytime learner of
+:mod:`repro.sampling.streaming` to the *count-based sliding window* model
+emphasized by the histogram-maintenance literature the paper builds on
+([GMP97], [GGI+02]): queries are answered over (roughly) the most recent
+``window_size`` samples, and everything older is forgotten.
+
+The window is a ring of **epochs**.  Incoming samples fill the open epoch
+(an exact sorted position/count vector plus a bounded
+:class:`MisraGries` sketch); once ``epoch_size`` samples have landed the
+epoch is sealed and a fresh one opens.  The oldest epoch is expired as
+soon as the remaining epochs still cover a full window, so the live
+window always holds between ``window_size`` and
+``window_size + epoch_size`` samples and *expiry costs O(epoch support)*
+— one vectorized subtraction of the epoch's count vector from the window
+aggregate — never O(window).
+
+Two query families ride on the ring:
+
+* :meth:`WindowedStreamLearner.heavy_hitters` merges the live epochs'
+  Misra–Gries sketches (the mergeable-summaries composition of [ACHPWY12])
+  and reports every item whose estimated window count clears
+  ``(phi - eps) * W``.  The standard deterministic guarantee holds for
+  ``phi > eps``: every item with true window frequency ``>= phi * W`` is
+  reported, and no item with true frequency ``< (phi - eps) * W`` is.
+* :meth:`WindowedStreamLearner.histogram` re-runs the paper's linear-time
+  merging stage (Algorithm 1) over the live window's empirical
+  distribution, so the windowed synopsis carries the same
+  ``sqrt(1 + delta) * opt_k`` guarantee against the best k-histogram *of
+  the window*.
+
+The learner duck-types the streaming surface
+(``extend`` / ``empirical`` / ``stale_since`` / ``samples_seen`` /
+``state_dict`` / ``from_state``), so a :class:`~repro.serve.store.SynopsisStore`
+streaming entry backed by it refreshes and persists through the exact same
+machinery as the unwindowed learner.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.histogram import Histogram
+from ..core.merging import construct_histogram_partition
+from ..core.serialize import check_payload_tag
+from ..core.sparse import SparseFunction
+from .streaming import (
+    CountAggregate,
+    StreamingHistogramLearner,
+    merge_sorted_counts,
+)
+
+__all__ = ["MisraGries", "WindowedStreamLearner"]
+
+
+class MisraGries:
+    """A Misra–Gries / SpaceSaving frequency sketch over integer positions.
+
+    Keeps at most ``capacity`` counters.  Every counter is an
+    *underestimate* of its item's true count, and the total underestimate
+    across the sketch's lifetime (including merges) is at most
+    ``mass_fed / (capacity + 1)`` — the classic deterministic bound, which
+    is what turns a capacity of ``ceil(1/eps)`` into the ``(phi - eps)``
+    heavy-hitter guarantee.
+
+    Updates are batched and vectorized: a batch arrives as ``np.unique``
+    output, is sorted-merged into the counter arrays, and one decrement of
+    the ``(capacity + 1)``-th largest counter (the mergeable-summaries
+    shrink step) restores the size bound.
+    """
+
+    __slots__ = ("capacity", "total", "_positions", "_counts")
+
+    def __init__(
+        self,
+        capacity: int,
+        positions: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+        total: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._positions = (
+            np.empty(0, dtype=np.int64)
+            if positions is None
+            else np.asarray(positions, dtype=np.int64)
+        )
+        self._counts = (
+            np.empty(0, dtype=np.int64)
+            if counts is None
+            else np.asarray(counts, dtype=np.int64)
+        )
+        if self._positions.shape != self._counts.shape or self._positions.ndim != 1:
+            raise ValueError("sketch positions and counts must be equal-length 1-D")
+        if self._positions.size > 1 and np.any(np.diff(self._positions) <= 0):
+            raise ValueError("sketch positions must be strictly increasing")
+        if np.any(self._counts <= 0):
+            raise ValueError("sketch counters must be positive")
+        if self._positions.size > self.capacity:
+            raise ValueError("sketch holds more counters than its capacity")
+        self.total = int(total)
+        if self.total < int(self._counts.sum()):
+            raise ValueError("sketch total is smaller than its counters")
+
+    @property
+    def num_counters(self) -> int:
+        return int(self._positions.size)
+
+    def update(self, positions: np.ndarray, counts: np.ndarray) -> None:
+        """Feed a batch (``np.unique`` output: sorted unique positions)."""
+        self._positions, self._counts = merge_sorted_counts(
+            self._positions,
+            self._counts,
+            np.asarray(positions, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+        )
+        self.total += int(np.sum(counts))
+        self._shrink()
+
+    def _shrink(self) -> None:
+        over = self._positions.size - self.capacity
+        if over <= 0:
+            return
+        # Subtract the (capacity + 1)-th largest counter from every
+        # counter: all counters <= it (at least `over` of them) drop to
+        # zero and are pruned, and the decrement's mass is charged against
+        # >= capacity + 1 counters — the source of the eps bound.
+        decrement = np.partition(self._counts, over - 1)[over - 1]
+        self._counts = self._counts - decrement
+        keep = self._counts > 0
+        self._positions = self._positions[keep]
+        self._counts = self._counts[keep]
+
+    def merge(self, other: "MisraGries") -> "MisraGries":
+        """The mergeable-summaries composition (errors add, bound holds)."""
+        capacity = min(self.capacity, other.capacity)
+        positions, counts = merge_sorted_counts(
+            self._positions.copy(),
+            self._counts.copy(),
+            other._positions,
+            other._counts,
+        )
+        merged = MisraGries(capacity, total=self.total + other.total)
+        merged._positions = positions
+        merged._counts = counts
+        merged._shrink()
+        return merged
+
+    def estimates(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(positions, counters)``: each counter underestimates its item's
+        true count by at most ``total / (capacity + 1)``."""
+        return self._positions.copy(), self._counts.copy()
+
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "positions": self._positions.tolist(),
+            "counts": self._counts.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MisraGries":
+        return cls(
+            capacity=int(state["capacity"]),
+            positions=np.asarray(state["positions"], dtype=np.int64),
+            counts=np.asarray(state["counts"], dtype=np.int64),
+            total=int(state["total"]),
+        )
+
+
+class _Epoch:
+    """One window segment: exact sorted counts plus its bounded sketch."""
+
+    __slots__ = ("positions", "counts", "total", "sketch")
+
+    def __init__(self, sketch_capacity: int) -> None:
+        self.positions = np.empty(0, dtype=np.int64)
+        self.counts = np.empty(0, dtype=np.int64)
+        self.total = 0
+        self.sketch = MisraGries(sketch_capacity)
+
+    def add(self, positions: np.ndarray, counts: np.ndarray) -> None:
+        self.positions, self.counts = merge_sorted_counts(
+            self.positions, self.counts, positions, counts
+        )
+        self.total += int(np.sum(counts))
+        self.sketch.update(positions, counts)
+
+    def state_dict(self) -> dict:
+        return {
+            "positions": self.positions.tolist(),
+            "counts": self.counts.tolist(),
+            "total": self.total,
+            "sketch": self.sketch.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, sketch_capacity: int) -> "_Epoch":
+        epoch = cls(sketch_capacity)
+        epoch.positions = np.asarray(state["positions"], dtype=np.int64)
+        epoch.counts = np.asarray(state["counts"], dtype=np.int64)
+        if epoch.positions.shape != epoch.counts.shape or epoch.positions.ndim != 1:
+            raise ValueError("epoch positions and counts must be equal-length 1-D")
+        if epoch.positions.size > 1 and np.any(np.diff(epoch.positions) <= 0):
+            raise ValueError("epoch positions must be strictly increasing")
+        if np.any(epoch.counts <= 0):
+            raise ValueError("epoch counts must be positive")
+        epoch.total = int(state["total"])
+        if epoch.total != int(epoch.counts.sum()):
+            raise ValueError("epoch total does not match its summed counts")
+        epoch.sketch = MisraGries.from_state(state["sketch"])
+        if epoch.sketch.total != epoch.total:
+            raise ValueError("epoch sketch total disagrees with the epoch")
+        return epoch
+
+
+class WindowedStreamLearner:
+    """Near-optimal histograms and heavy hitters over a sliding window.
+
+    Parameters
+    ----------
+    n:
+        Universe size (samples are positions in ``[0, n)``).
+    k:
+        Piece budget of the windowed histogram (``opt_k`` of the window).
+    window_size:
+        Target window length in samples.  The live window holds the most
+        recent ``window_size`` to ``window_size + epoch_size`` samples
+        (count-based window, epoch-granular expiry).
+    num_epochs:
+        Ring resolution: the window is split into this many epochs of
+        ``ceil(window_size / num_epochs)`` samples each.  More epochs
+        means finer expiry granularity at slightly more merge work per
+        heavy-hitter query.  Defaults to ``min(8, window_size)``.
+    sketch_eps:
+        Heavy-hitter slack.  Per-epoch sketches hold ``ceil(1/eps)``
+        counters, so :meth:`heavy_hitters` answers ``phi``-queries with
+        the deterministic ``(phi - eps)`` guarantee for any
+        ``phi > sketch_eps``.
+    merge_delta, merge_gamma:
+        Algorithm 1 knobs for the windowed histogram (paper defaults).
+    refresh_epochs:
+        Drift watermark: :meth:`stale_since` reports a build stale once at
+        least this many epochs' worth of new samples arrived after it.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        window_size: int,
+        num_epochs: Optional[int] = None,
+        sketch_eps: float = 0.01,
+        merge_delta: float = 1000.0,
+        merge_gamma: float = 1.0,
+        refresh_epochs: int = 1,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"universe size must be positive, got {n}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if window_size < 1:
+            raise ValueError(f"window size must be positive, got {window_size}")
+        if num_epochs is None:
+            num_epochs = min(8, int(window_size))
+        if not 1 <= num_epochs <= window_size:
+            raise ValueError(
+                f"num_epochs must lie in [1, window_size], got {num_epochs}"
+            )
+        if not 0.0 < sketch_eps < 1.0:
+            raise ValueError(f"sketch eps must lie in (0, 1), got {sketch_eps}")
+        if refresh_epochs < 1:
+            raise ValueError(f"refresh_epochs must be >= 1, got {refresh_epochs}")
+        self.n = int(n)
+        self.k = int(k)
+        self.window_size = int(window_size)
+        self.num_epochs = int(num_epochs)
+        self.epoch_size = -(-self.window_size // self.num_epochs)  # ceil
+        self.sketch_eps = float(sketch_eps)
+        self.sketch_capacity = int(np.ceil(1.0 / self.sketch_eps))
+        self.merge_delta = merge_delta
+        self.merge_gamma = merge_gamma
+        self.refresh_epochs = int(refresh_epochs)
+        self._epochs: List[_Epoch] = [_Epoch(self.sketch_capacity)]
+        # The window aggregate shares the streaming learner's hybrid
+        # engine: dense scatter-add for moderate universes, sorted-merge
+        # (with exact subtraction on expiry) for huge ones.
+        self._window = CountAggregate(
+            self.n,
+            use_dense=self.n <= StreamingHistogramLearner.DENSE_UNIVERSE_LIMIT,
+        )
+        self._window_total = 0
+        self._total = 0
+        self._empirical: Optional[SparseFunction] = None
+        self._merged_sketch: Optional[MisraGries] = None
+        self._cached: Optional[Histogram] = None
+        self._cached_at = 0
+        # extend() and the read paths (heavy_hitters / empirical /
+        # histogram) may run on different threads of the serving front
+        # end; the lock keeps a reader from seeing a half-merged ring.
+        # RLock because histogram() calls empirical() inside it.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def samples_seen(self) -> int:
+        """Lifetime sample count (the store's refresh watermark currency)."""
+        return self._total
+
+    @property
+    def window_total(self) -> int:
+        """Samples currently in the live window."""
+        return self._window_total
+
+    @property
+    def support_size(self) -> int:
+        """Distinct positions in the live window."""
+        with self._lock:
+            return self._window.support_size
+
+    def window_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact sorted ``(positions, counts)`` of the live window."""
+        with self._lock:
+            positions, counts = self._window.arrays()
+            return positions.copy(), counts.copy()
+
+    @property
+    def live_epochs(self) -> int:
+        return len(self._epochs)
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def extend(self, samples: np.ndarray) -> None:
+        """Absorb a batch of samples (positions in ``[0, n)``), in order.
+
+        The batch is split at epoch boundaries (epochs are count-based, so
+        a large batch may seal several), each chunk is reduced by
+        ``np.unique`` and sorted-merged into the open epoch, its sketch,
+        and the window aggregate, and full epochs beyond the window are
+        expired by subtracting their count vectors — O(epoch), not
+        O(window).
+        """
+        arr = np.asarray(samples, dtype=np.int64).ravel()
+        if arr.size == 0:
+            return
+        if arr.min() < 0 or arr.max() >= self.n:
+            raise ValueError("samples must lie in [0, n)")
+        with self._lock:
+            start = 0
+            while start < arr.size:
+                open_epoch = self._epochs[-1]
+                room = self.epoch_size - open_epoch.total
+                chunk = arr[start : start + room]
+                positions, counts = np.unique(chunk, return_counts=True)
+                open_epoch.add(positions, counts)
+                self._window.add_unique(positions, counts)
+                self._window_total += int(chunk.size)
+                self._total += int(chunk.size)
+                start += int(chunk.size)
+                if open_epoch.total >= self.epoch_size:
+                    self._epochs.append(_Epoch(self.sketch_capacity))
+                # Expire after every chunk, not just on seal: the samples
+                # just added may push a sealed epoch fully out of the
+                # window even when the open epoch is still filling.
+                self._expire()
+            # Dirty flags: the next empirical() / heavy_hitters() rebuilds
+            # its cached view once, then serves it until the next extend.
+            self._empirical = None
+            self._merged_sketch = None
+
+    def _expire(self) -> None:
+        """Drop sealed epochs whose removal still leaves a full window."""
+        while (
+            len(self._epochs) > 1
+            and self._window_total - self._epochs[0].total >= self.window_size
+        ):
+            oldest = self._epochs.pop(0)
+            self._window.subtract_unique(oldest.positions, oldest.counts)
+            self._window_total -= oldest.total
+
+    # ------------------------------------------------------------------ #
+    # Window queries
+    # ------------------------------------------------------------------ #
+
+    def empirical(self) -> SparseFunction:
+        """The live window's empirical distribution (cached until dirty)."""
+        with self._lock:
+            if self._window_total == 0:
+                raise ValueError("no samples seen yet")
+            if self._empirical is None:
+                positions, counts = self._window.arrays()
+                self._empirical = SparseFunction(
+                    self.n, positions, counts / self._window_total
+                )
+            return self._empirical
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[int, int]]:
+        """Approximate ``phi``-heavy hitters of the live window.
+
+        Returns ``(position, estimated_count)`` pairs, heaviest first
+        (ties broken by position).  For ``W`` samples in the live window
+        and ``phi > sketch_eps`` the answer is deterministic-correct in
+        the standard sense: every position with true window count
+        ``>= phi * W`` is present, and none with true count
+        ``< (phi - sketch_eps) * W`` is.  Estimated counts never exceed
+        the true counts (Misra–Gries counters are underestimates).
+        """
+        phi = float(phi)
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must lie in (0, 1], got {phi}")
+        if phi <= self.sketch_eps:
+            raise ValueError(
+                f"phi ({phi}) must exceed the sketch eps ({self.sketch_eps}) "
+                f"for the (phi - eps) guarantee to hold"
+            )
+        with self._lock:
+            if self._window_total == 0:
+                return []
+            if self._merged_sketch is None:
+                # Cache the merged sketch behind the same dirty flag as
+                # empirical(): a query-heavy workload pays the
+                # O(num_epochs * capacity) merge once per extend, not per
+                # query.
+                merged = self._epochs[0].sketch
+                for epoch in self._epochs[1:]:
+                    merged = merged.merge(epoch.sketch)
+                self._merged_sketch = merged
+            positions, counts = self._merged_sketch.estimates()
+            threshold = (phi - self.sketch_eps) * self._window_total
+            keep = counts >= threshold
+            positions, counts = positions[keep], counts[keep]
+        order = np.lexsort((positions, -counts))
+        return [(int(positions[i]), int(counts[i])) for i in order]
+
+    def stale_since(self, built_at: int) -> bool:
+        """Whether a synopsis built at lifetime count ``built_at`` is stale.
+
+        The windowed drift watermark: a build goes stale once at least
+        ``refresh_epochs`` epochs' worth of samples arrived after it (the
+        window has visibly slid).  A zero or negative watermark means
+        "never built" and is always stale.
+        """
+        if built_at <= 0:
+            return True
+        return self._total - built_at >= self.refresh_epochs * self.epoch_size
+
+    def _stale(self) -> bool:
+        if self._cached is None:
+            return True
+        return self.stale_since(self._cached_at)
+
+    def histogram(self, force_refresh: bool = False) -> Histogram:
+        """The near-optimal k-histogram of the *live window* (lazy rebuild).
+
+        Re-runs the paper's linear-time merging stage (Algorithm 1) over
+        the window's empirical distribution, so the output competes with
+        the best k-histogram of the window: error
+        ``<= sqrt(1 + delta) * opt_k(window) + O(1/sqrt(W))``.
+        """
+        with self._lock:
+            if self._window_total == 0:
+                raise ValueError("no samples seen yet")
+            if force_refresh or self._stale():
+                result = construct_histogram_partition(
+                    self.empirical(),
+                    self.k,
+                    delta=self.merge_delta,
+                    gamma=self.merge_gamma,
+                )
+                self._cached = result.histogram
+                self._cached_at = self._total
+            return self._cached
+
+    # ------------------------------------------------------------------ #
+    # Serialization (resume mid-window)
+    # ------------------------------------------------------------------ #
+
+    kind = "windowed_stream_learner"
+    schema_version = 1
+
+    def state_dict(self) -> dict:
+        """Resumable state: parameters, the epoch ring (exact counts plus
+        sketch counters), and the cached histogram with its watermark — a
+        revived learner continues mid-window with identical answers."""
+        with self._lock:
+            state = {
+                "kind": self.kind,
+                "schema": self.schema_version,
+                "n": self.n,
+                "k": self.k,
+                "window_size": self.window_size,
+                "num_epochs": self.num_epochs,
+                "sketch_eps": self.sketch_eps,
+                "merge_delta": self.merge_delta,
+                "merge_gamma": self.merge_gamma,
+                "refresh_epochs": self.refresh_epochs,
+                "total": self._total,
+                "epochs": [epoch.state_dict() for epoch in self._epochs],
+            }
+            if self._cached is not None:
+                state["cached"] = self._cached.to_dict()
+                state["cached_at"] = self._cached_at
+            return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowedStreamLearner":
+        """Revive a learner from :meth:`state_dict` output."""
+        check_payload_tag(state, cls)
+        learner = cls(
+            n=int(state["n"]),
+            k=int(state["k"]),
+            window_size=int(state["window_size"]),
+            num_epochs=int(state["num_epochs"]),
+            sketch_eps=float(state["sketch_eps"]),
+            merge_delta=float(state["merge_delta"]),
+            merge_gamma=float(state["merge_gamma"]),
+            refresh_epochs=int(state["refresh_epochs"]),
+        )
+        epochs_state = state.get("epochs")
+        if not isinstance(epochs_state, list) or not epochs_state:
+            raise ValueError("windowed learner state must carry an epoch list")
+        learner._epochs = [
+            _Epoch.from_state(epoch, learner.sketch_capacity)
+            for epoch in epochs_state
+        ]
+        for epoch in learner._epochs[:-1]:
+            if epoch.total < learner.epoch_size:
+                raise ValueError("a sealed epoch is smaller than the epoch size")
+        # The window aggregate is derived state: rebuild it from the ring
+        # (deterministic, so a round trip answers identically).
+        for epoch in learner._epochs:
+            if epoch.positions.size and (
+                epoch.positions[0] < 0 or epoch.positions[-1] >= learner.n
+            ):
+                raise ValueError("epoch positions must lie in [0, n)")
+            sketch_positions = epoch.sketch.estimates()[0]
+            if sketch_positions.size and (
+                sketch_positions[0] < 0 or sketch_positions[-1] >= learner.n
+            ):
+                # The sketch has no n of its own, so the universe check
+                # happens here — a rotted payload must not revive into
+                # heavy hitters outside [0, n).
+                raise ValueError("sketch positions must lie in [0, n)")
+            learner._window.add_unique(epoch.positions, epoch.counts)
+            learner._window_total += epoch.total
+        learner._total = int(state["total"])
+        if learner._total < learner._window_total:
+            raise ValueError("lifetime total is smaller than the window total")
+        if state.get("cached") is not None:
+            learner._cached = Histogram.from_dict(state["cached"])
+            learner._cached_at = int(state.get("cached_at", 0))
+        return learner

@@ -63,15 +63,17 @@ from .planner import (
     replan,
 )
 from .persistence import (
+    LEARNER_KINDS,
     StoreCorruptionError,
     detect_store_format,
+    learner_from_state,
     load_sharded,
     load_store,
     save_sharded,
     save_store,
 )
 from .router import Shard, ShardMap, ShardRouter, stable_shard
-from .store import StoreEntry, SynopsisStore
+from .store import StoreEntry, StreamLearner, SynopsisStore
 
 __all__ = [
     "AsyncServingFrontend",
@@ -83,6 +85,7 @@ __all__ = [
     "CacheStats",
     "CandidateSpec",
     "FamilySpec",
+    "LEARNER_KINDS",
     "PrefixTable",
     "QueryEngine",
     "QueryRequest",
@@ -92,6 +95,7 @@ __all__ = [
     "ShardRouter",
     "StoreCorruptionError",
     "StoreEntry",
+    "StreamLearner",
     "SynopsisStore",
     "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
@@ -99,6 +103,7 @@ __all__ = [
     "default_k_grid",
     "detect_store_format",
     "family_spec",
+    "learner_from_state",
     "load_sharded",
     "load_store",
     "plan_build",

@@ -17,6 +17,7 @@ directories are detected automatically)::
     quantile <name> <q>       smallest x with CDF(x) >= q
     topk <name> <m>           the m heaviest buckets
     inner <a> <b>             inner product of two stored synopses
+    heavy <name> <phi>        sliding-window heavy hitters (windowed entries)
     summary                   store metadata
     inspect <name>            one entry: metadata, shard, cache counters
     plan <name>               an auto-planned entry's decision record
@@ -24,6 +25,14 @@ directories are detected automatically)::
     cache                     cache statistics (global + per entry)
     save <dir>                persist the store (atomic replace)
     quit                      exit
+
+``--window W`` (on ``serve`` and ``save``) additionally registers a
+sliding-window streaming entry named ``windowed`` — a
+:class:`~repro.sampling.windowed.WindowedStreamLearner` over the last W
+samples of a stream drawn from the dataset distribution — whose live
+window answers the REPL ``heavy`` command (and persists mid-window with
+``save``).  ``query --kind heavy_hitters`` benchmarks the same query
+one-shot (``--phi`` sets the frequency threshold).
 
 ``--families auto`` (or ``--family auto`` on ``query``) turns family
 selection over to the build planner: state a budget with ``--max-bytes``
@@ -60,6 +69,7 @@ import numpy as np
 
 from ..core.errorutil import error_sort_key, format_error
 from ..datasets import offline_datasets
+from ..sampling.windowed import WindowedStreamLearner
 from .builders import SYNOPSIS_FAMILIES
 from .engine import QueryEngine
 from .persistence import (
@@ -146,6 +156,36 @@ def _budget_from_args(args: argparse.Namespace) -> BuildBudget:
         raise SystemExit(f"error: {exc}")
 
 
+def _window_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="additionally register a sliding-window streaming entry named "
+        "'windowed': a WindowedStreamLearner over the last W samples of a "
+        "stream drawn from the dataset distribution (2*W samples are fed, "
+        "so the window has already slid); query it with the REPL 'heavy' "
+        "command or --kind heavy_hitters",
+    )
+
+
+def _make_windowed_learner(
+    values: np.ndarray, window: int, k: int, seed: int
+) -> WindowedStreamLearner:
+    """The one recipe behind ``--window``: a windowed learner fed ``2*W``
+    samples drawn from the dataset distribution, so the window has
+    already slid.  Shared by ``serve``/``save`` and ``query --kind
+    heavy_hitters`` so both surfaces answer over the same stream."""
+    if window < 1:
+        raise SystemExit(f"--window must be positive, got {window}")
+    rng = np.random.default_rng(seed + 17)
+    weights = values / values.sum()
+    learner = WindowedStreamLearner(n=values.size, k=k, window_size=window)
+    learner.extend(rng.choice(values.size, size=2 * window, p=weights))
+    return learner
+
+
 def _shards_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--shards",
@@ -181,6 +221,11 @@ def _build_family_router(args: argparse.Namespace) -> ShardRouter:
                 f"available: auto, {', '.join(sorted(SYNOPSIS_FAMILIES))}"
             )
         router.register(family, values, family=family, k=args.k)
+    if getattr(args, "window", None) is not None:
+        router.register_stream(
+            "windowed",
+            _make_windowed_learner(values, args.window, args.k, args.seed),
+        )
     return router
 
 
@@ -251,6 +296,8 @@ def _summary_line(meta: dict) -> str:
         line += " planned"
     if meta.get("streaming"):
         line += f" streaming samples={meta.get('samples_seen', 0)}"
+        if meta.get("windowed"):
+            line += f" window={meta.get('window_total', 0)}"
     return line
 
 
@@ -277,15 +324,38 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
             "cdf",
             "quantile",
             "inner_product",
+            "heavy_hitters",
         ],
         help="query kind; inner_product pairs the synopsis with a "
-        "lossless 'exact' synopsis of the same dataset",
+        "lossless 'exact' synopsis of the same dataset; heavy_hitters "
+        "streams samples from the dataset distribution into a sliding "
+        "window (--window) and reports phi-heavy positions (--phi)",
     )
     parser.add_argument("--num-queries", type=int, default=10_000)
     parser.add_argument("--show", type=int, default=5, help="answers to print")
+    _window_argument(parser)
+    parser.add_argument(
+        "--phi",
+        type=float,
+        default=None,
+        help="heavy-hitter frequency threshold (heavy_hitters only; "
+        "default 0.05)",
+    )
     args = parser.parse_args(argv)
 
+    if args.kind != "heavy_hitters" and (
+        args.window is not None or args.phi is not None
+    ):
+        # Mirror the serve --store-dir guard: accepting the flags and
+        # silently benchmarking the plain synopsis path instead would
+        # leave the user believing they measured a windowed entry.
+        raise SystemExit(
+            f"error: --window/--phi only apply to --kind heavy_hitters, "
+            f"not {args.kind!r}"
+        )
     values = _load_dataset(args.dataset, args.n, args.seed)
+    if args.kind == "heavy_hitters":
+        return _heavy_hitters_query(args, values)
     store = SynopsisStore()
     if args.family == "auto":
         try:
@@ -348,6 +418,43 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _heavy_hitters_query(args: argparse.Namespace, values: np.ndarray) -> int:
+    """The ``--kind heavy_hitters`` path: windowed stream, then hh queries."""
+    window = 50_000 if args.window is None else args.window
+    phi = 0.05 if args.phi is None else args.phi
+    learner = _make_windowed_learner(values, window, args.k, args.seed)
+    try:
+        store = SynopsisStore()
+        entry = store.register_stream(args.dataset, learner)
+        engine = QueryEngine(store)
+        run = lambda: [
+            engine.heavy_hitters(args.dataset, phi)
+            for _ in range(args.num_queries)
+        ]
+        run()  # warm
+        start = time.perf_counter()
+        answers = run()
+        elapsed = time.perf_counter() - start
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    meta = entry.describe()
+    print(
+        f"windowed stream of {args.dataset!r}: n={meta['n']} "
+        f"window={learner.window_total} (target {window}) "
+        f"epochs={learner.live_epochs} samples={learner.samples_seen} "
+        f"sketch_eps={learner.sketch_eps}"
+    )
+    hitters = answers[-1]
+    shown = ", ".join(f"{pos} (count>={cnt})" for pos, cnt in hitters[: args.show])
+    print(
+        f"heavy_hitters(phi={phi}) x {args.num_queries}: "
+        f"{len(hitters)} hitters: {shown or '(none)'}"
+    )
+    qps = args.num_queries / max(elapsed, 1e-12)
+    print(f"evaluation: {elapsed * 1e3:.3f}ms total, {qps:,.0f} queries/sec")
+    return 0
+
+
 def _print_answer(out, value) -> None:
     if isinstance(value, float):
         print(f"{value:.12g}", file=out)
@@ -383,6 +490,7 @@ def serve_main(
     _families_argument(parser)
     _budget_arguments(parser)
     _shards_argument(parser)
+    _window_argument(parser)
     parser.add_argument(
         "--store-dir",
         default=None,
@@ -395,6 +503,14 @@ def serve_main(
     out = sys.stdout if stdout is None else stdout
 
     if args.store_dir is not None:
+        if args.window is not None:
+            # A loaded store serves its persisted entries; silently
+            # dropping the flag would leave the user hunting for the
+            # 'windowed' entry it never registered.
+            raise SystemExit(
+                "error: --window cannot be combined with --store-dir "
+                "(save the store with --window instead)"
+            )
         router = _load_router_or_exit(
             args.store_dir, lazy=True, expect_shards=args.shards
         )
@@ -406,7 +522,7 @@ def serve_main(
     print(
         f"serving {len(router)} synopses of {source} on "
         f"{router.num_shards} shard(s) ({', '.join(router.names())}); "
-        f"commands: range mean point cdf quantile topk inner summary "
+        f"commands: range mean point cdf quantile topk inner heavy summary "
         f"inspect plan shards cache save quit",
         file=out,
     )
@@ -455,6 +571,13 @@ def serve_main(
                         print(line, file=out)
             elif cmd == "inner":
                 _print_answer(out, router.inner_product(words[1], words[2]))
+            elif cmd == "heavy":
+                name, phi = words[1], float(words[2])
+                hitters = router.heavy_hitters(name, phi)
+                if not hitters:
+                    print("(no heavy hitters)", file=out)
+                for pos, count in hitters:
+                    print(f"{pos}: count>={count}", file=out)
             elif cmd == "range":
                 name, a, b = words[1], int(words[2]), int(words[3])
                 _print_answer(out, router.range_sum(name, a, b))
@@ -496,6 +619,7 @@ def save_main(argv: Optional[Sequence[str]] = None) -> int:
     _families_argument(parser)
     _budget_arguments(parser)
     _shards_argument(parser)
+    _window_argument(parser)
     parser.add_argument("--store-dir", required=True, help="output store directory")
     args = parser.parse_args(argv)
 
@@ -618,6 +742,8 @@ def _print_manifest_entries(
                 )
             if record.get("streaming"):
                 line += f" streaming samples={record.get('samples_seen', 0)}"
+                if record.get("windowed"):
+                    line += f" window={record.get('window_total', 0)}"
         except (AttributeError, TypeError, ValueError, KeyError, IndexError) as exc:
             raise SystemExit(
                 f"error: invalid manifest entry in {store_dir}: {exc}"

@@ -436,3 +436,14 @@ class QueryEngine:
     def inner_product(self, name_a: str, name_b: str) -> float:
         """``<f_a, f_b>`` between two stored synopses on the same domain."""
         return self.table(name_a).inner_product(self.table(name_b))
+
+    def heavy_hitters(self, name: str, phi: float) -> List[Tuple[int, int]]:
+        """Sliding-window ``phi``-heavy hitters of entry ``name``.
+
+        Unlike every other query kind this does not go through the prefix
+        table: the answer comes from the entry's live windowed learner
+        (see :meth:`SynopsisStore.heavy_hitters`), so it reflects samples
+        absorbed since the last refresh too.  Raises :exc:`ValueError`
+        for entries not backed by a windowed stream.
+        """
+        return self.store.heavy_hitters(name, phi)

@@ -2,7 +2,8 @@
 
 :class:`AsyncServingFrontend` accepts one *multi-name batch* — a list of
 :class:`QueryRequest` objects, each itself a vectorized query (range_sum /
-range_mean / point_mass / cdf / quantile / top_k) addressed to one entry —
+range_mean / point_mass / cdf / quantile / top_k / inner_product /
+heavy_hitters) addressed to one entry —
 fans the batch out per shard, runs each shard's work on a thread pool
 (NumPy releases the GIL in the hot kernels, so shards evaluate truly
 concurrently on multicore hosts), and reassembles the answers in request
@@ -29,6 +30,7 @@ attributable to one consistent ``(name, version)`` snapshot.
 from __future__ import annotations
 
 import asyncio
+from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -41,22 +43,34 @@ from .store import StoreEntry
 
 __all__ = ["QUERY_KINDS", "AsyncServingFrontend", "QueryRequest", "QueryResult"]
 
-# kind -> number of positional query arguments
-QUERY_KINDS: Dict[str, int] = {
-    "range_sum": 2,
-    "range_mean": 2,
-    "point_mass": 1,
-    "cdf": 1,
-    "quantile": 1,
-    "top_k": 1,
+# kind -> expected args shape.  The single source of truth: arities
+# (QUERY_KINDS) and error-message forms both derive from it, so a new
+# kind cannot update one and silently miss the other.
+_ARG_FORMS: Dict[str, str] = {
+    "range_sum": "(a, b)",
+    "range_mean": "(a, b)",
+    "point_mass": "(x,)",
+    "cdf": "(x,)",
+    "quantile": "(q,)",
+    "top_k": "(m,)",
     # args = (name_b,): the second stored synopsis to pair with.  Routed
     # by name_a's shard; the pairing itself may cross shards.
-    "inner_product": 1,
+    "inner_product": "(name_b,)",
+    # args = (phi,): sliding-window heavy hitters of a windowed
+    # streaming entry (answered by the live learner, not a prefix table).
+    "heavy_hitters": "(phi,)",
+}
+
+# kind -> number of positional query arguments
+QUERY_KINDS: Dict[str, int] = {
+    kind: sum(1 for name in form.strip("()").split(",") if name.strip())
+    for kind, form in _ARG_FORMS.items()
 }
 
 # Kinds whose array arguments can be concatenated across requests and the
 # stacked answer split back per request.  top_k returns a bucket list per
-# request (and inner_product pairs two entries), so those always evaluate
+# request (inner_product pairs two entries, heavy_hitters returns a
+# hitter list from the live learner), so those always evaluate
 # individually.
 _COALESCIBLE = ("range_sum", "range_mean", "point_mass", "cdf", "quantile")
 
@@ -77,11 +91,34 @@ class QueryRequest:
                 f"unknown query kind {self.kind!r}; "
                 f"supported: {', '.join(QUERY_KINDS)}"
             )
+        # Normalize args to a tuple of positional arguments up front.  A
+        # dict or a string has a len() too, so without this check a
+        # request like args={"q": 0.5} or args="ab" would sail past the
+        # arity test below only to die deep inside evaluation with a
+        # baffling dtype error ("could not convert string to float: 'q'").
+        if isinstance(self.args, (str, bytes)) or isinstance(self.args, Mapping):
+            raise TypeError(
+                f"args must be a tuple of positional arguments "
+                f"(e.g. {self._positional_form()}), got "
+                f"{type(self.args).__name__} {self.args!r}"
+            )
+        try:
+            object.__setattr__(self, "args", tuple(self.args))
+        except TypeError:
+            raise TypeError(
+                f"args must be a tuple of positional arguments "
+                f"(e.g. {self._positional_form()}), got "
+                f"{type(self.args).__name__}"
+            ) from None
         if len(self.args) != QUERY_KINDS[self.kind]:
             raise ValueError(
-                f"{self.kind} takes {QUERY_KINDS[self.kind]} argument(s), "
-                f"got {len(self.args)}"
+                f"{self.kind} takes {QUERY_KINDS[self.kind]} positional "
+                f"argument(s) {self._positional_form()}, got {len(self.args)}"
             )
+
+    def _positional_form(self) -> str:
+        """The expected ``args`` shape for this kind, for error messages."""
+        return _ARG_FORMS[self.kind]
 
 
 @dataclass
@@ -256,6 +293,22 @@ class AsyncServingFrontend:
         self, shard: Shard, index: int, request: QueryRequest
     ) -> QueryResult:
         try:
+            if request.kind == "heavy_hitters":
+                # Answered by the entry's live windowed learner, not a
+                # prefix table; the reported version is the entry's
+                # current synopsis version (the learner is always ahead
+                # of or equal to it).
+                value = shard.engine.heavy_hitters(
+                    request.name, float(request.args[0])
+                )
+                version = shard.store[request.name].version
+                return QueryResult(
+                    index=index,
+                    name=request.name,
+                    kind=request.kind,
+                    value=value,
+                    version=version,
+                )
             version, table = shard.engine.table_versioned(request.name)
             if request.kind == "inner_product":
                 # The partner entry may live on another shard; pair its

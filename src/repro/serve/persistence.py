@@ -56,6 +56,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..sampling.streaming import StreamingHistogramLearner
+from ..sampling.windowed import WindowedStreamLearner
 from .builders import (
     BuildResult,
     synopsis_from_dict,
@@ -66,6 +67,7 @@ from .planner import BuildPlan
 from .store import StoreEntry, SynopsisStore
 
 __all__ = [
+    "LEARNER_KINDS",
     "MANIFEST_NAME",
     "SHARDED_FORMAT",
     "SHARDED_SCHEMA_VERSION",
@@ -73,6 +75,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "StoreCorruptionError",
     "detect_store_format",
+    "learner_from_state",
     "load_sharded",
     "load_store",
     "read_manifest",
@@ -84,12 +87,36 @@ __all__ = [
 MANIFEST_NAME = "manifest.json"
 STORE_FORMAT = "repro-synopsis-store"
 # Schema 2 (build planner): entry records may carry a "plan" field — the
-# serialized BuildPlan decision record of an auto-planned entry.  Schema 1
-# stores (no plan fields) still load; loaders older than schema 2 refuse
-# schema-2 stores cleanly.
-STORE_SCHEMA_VERSION = 2
+# serialized BuildPlan decision record of an auto-planned entry.
+# Schema 3 (windowed streaming): a streaming entry's payload may carry a
+# ``windowed_stream_learner`` state (epoch ring + per-epoch Misra–Gries
+# sketches) instead of the growing-stream learner's, and its manifest
+# record then adds "windowed"/"window_total".  Schema 1 and 2 stores (no
+# plan fields / no windowed learners) still load; loaders older than the
+# bump refuse newer stores cleanly.
+STORE_SCHEMA_VERSION = 3
 SHARDED_FORMAT = "repro-synopsis-store-sharded"
 SHARDED_SCHEMA_VERSION = 1
+
+# Streaming-learner payload dispatch: the "kind" tag of a persisted
+# learner state names its class, exactly like SYNOPSIS_CODECS for
+# synopses.  New learner kinds register here.
+LEARNER_KINDS = {
+    StreamingHistogramLearner.kind: StreamingHistogramLearner,
+    WindowedStreamLearner.kind: WindowedStreamLearner,
+}
+
+
+def learner_from_state(state: Any):
+    """Revive any registered streaming learner from its ``state_dict``."""
+    kind = state.get("kind") if isinstance(state, dict) else None
+    cls = LEARNER_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown streaming learner kind {kind!r}; "
+            f"registered: {', '.join(LEARNER_KINDS)}"
+        )
+    return cls.from_state(state)
 
 
 class StoreCorruptionError(RuntimeError):
@@ -203,6 +230,11 @@ def _manifest_entry(entry: StoreEntry, payload_name: str) -> Dict[str, Any]:
     }
     if entry.learner is not None:
         record["samples_seen"] = entry.learner.samples_seen
+        if isinstance(entry.learner, WindowedStreamLearner):
+            # Mirrored into frozen_meta on load so a cold summary() shows
+            # the windowed counters without reading the payload.
+            record["windowed"] = True
+            record["window_total"] = entry.learner.window_total
     if entry.plan is not None:
         # The planner's decision record is manifest metadata (schema 2):
         # available without reading any payload, so a reloaded store can
@@ -454,7 +486,7 @@ def _hydrate_entry(
         synopsis = synopsis_from_dict(payload["synopsis"])
         learner_state = payload.get("learner")
         learner = (
-            StreamingHistogramLearner.from_state(learner_state)
+            learner_from_state(learner_state)
             if learner_state is not None
             else None
         )
@@ -487,6 +519,9 @@ def _frozen_meta(record: Dict[str, Any], result: BuildResult) -> Dict[str, Any]:
     meta["streaming"] = bool(record.get("streaming", False))
     if meta["streaming"]:
         meta["samples_seen"] = int(record.get("samples_seen", 0))
+        if record.get("windowed"):
+            meta["windowed"] = True
+            meta["window_total"] = int(record.get("window_total", 0))
     if record.get("plan") is not None:
         meta["planned"] = True
     return meta

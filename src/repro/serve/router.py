@@ -429,6 +429,11 @@ class ShardRouter:
     def top_k_buckets(self, name: str, m: int):
         return self._shard_for_registered(name).engine.top_k_buckets(name, m)
 
+    def heavy_hitters(self, name: str, phi: float):
+        """Sliding-window ``phi``-heavy hitters of entry ``name`` (see
+        :meth:`~repro.serve.engine.QueryEngine.heavy_hitters`)."""
+        return self._shard_for_registered(name).engine.heavy_hitters(name, phi)
+
     def inner_product(self, name_a: str, name_b: str) -> float:
         """``<f_a, f_b>`` between two stored synopses, pairing across shards.
 

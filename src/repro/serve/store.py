@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.sparse import SparseFunction
 from ..sampling.streaming import StreamingHistogramLearner
+from ..sampling.windowed import WindowedStreamLearner
 from .builders import BuildResult, build_synopsis
 from .planner import (
     BudgetInfeasibleError,
@@ -39,7 +40,14 @@ from .planner import (
     replan,
 )
 
-__all__ = ["StoreEntry", "SynopsisStore"]
+__all__ = ["StoreEntry", "StreamLearner", "SynopsisStore"]
+
+#: Either streaming backend: the growing-stream learner or the
+#: sliding-window learner.  Both expose the same refresh surface
+#: (``extend`` / ``empirical`` / ``stale_since`` / ``samples_seen`` /
+#: ``state_dict``), so the store's streaming machinery is agnostic; the
+#: windowed one additionally answers ``heavy_hitters(phi)``.
+StreamLearner = Union[StreamingHistogramLearner, WindowedStreamLearner]
 
 
 @dataclass
@@ -57,7 +65,7 @@ class StoreEntry:
     name: str
     result: BuildResult
     version: int = 0
-    learner: Optional[StreamingHistogramLearner] = None
+    learner: Optional[StreamLearner] = None
     built_at_samples: int = 0
     # The decision record of an auto-planned entry (register_auto /
     # register_stream_auto); None for entries with an explicit family.
@@ -129,6 +137,9 @@ class StoreEntry:
         meta["streaming"] = self.is_streaming
         if self.learner is not None:
             meta["samples_seen"] = self.learner.samples_seen
+            if isinstance(self.learner, WindowedStreamLearner):
+                meta["windowed"] = True
+                meta["window_total"] = self.learner.window_total
         if self.plan is not None:
             meta["planned"] = True
         return meta
@@ -192,7 +203,7 @@ class SynopsisStore:
     def register_stream_auto(
         self,
         name: str,
-        learner: StreamingHistogramLearner,
+        learner: StreamLearner,
         budget: BuildBudget,
         families: Optional[Any] = None,
         k_grid: Optional[Any] = None,
@@ -219,7 +230,7 @@ class SynopsisStore:
     def register_stream(
         self,
         name: str,
-        learner: StreamingHistogramLearner,
+        learner: StreamLearner,
         family: str = "merging",
         k: Optional[int] = None,
         **options: Any,
@@ -241,7 +252,7 @@ class SynopsisStore:
         self,
         name: str,
         result: BuildResult,
-        learner: Optional[StreamingHistogramLearner],
+        learner: Optional[StreamLearner],
         plan: Optional[BuildPlan] = None,
     ) -> StoreEntry:
         if plan is not None:
@@ -334,6 +345,25 @@ class SynopsisStore:
         if entry.learner.stale_since(entry.built_at_samples):
             self.refresh(name)
         return entry
+
+    def heavy_hitters(self, name: str, phi: float) -> List[Tuple[int, int]]:
+        """Approximate ``phi``-heavy hitters of a windowed streaming entry.
+
+        Answered straight from the live :class:`WindowedStreamLearner`
+        (merged per-epoch Misra–Gries sketches), not from the built
+        synopsis — the answer reflects every sample absorbed so far, even
+        between refreshes.  Raises :exc:`ValueError` for entries not
+        backed by a windowed stream.
+        """
+        entry = self[name]
+        entry.hydrate()
+        if not isinstance(entry.learner, WindowedStreamLearner):
+            raise ValueError(
+                f"entry {name!r} is not backed by a sliding-window stream; "
+                f"heavy_hitters needs register_stream(name, "
+                f"WindowedStreamLearner(...))"
+            )
+        return entry.learner.heavy_hitters(phi)
 
     # ------------------------------------------------------------------ #
     # Lookup

@@ -31,6 +31,7 @@ from repro import (
     ShardRouter,
     StreamingHistogramLearner,
     SynopsisStore,
+    WindowedStreamLearner,
 )
 
 FIXTURE_DIR = Path(__file__).resolve().parent
@@ -44,6 +45,7 @@ N = 64
 RANGES = [(0, 63), (5, 20), (32, 40)]
 CDF_POSITIONS = [0, 10, 31, 63]
 QUANTILE_LEVELS = [0.1, 0.25, 0.5, 0.9]
+HEAVY_PHI = 0.1
 
 
 def golden_signal() -> np.ndarray:
@@ -54,6 +56,18 @@ def golden_signal() -> np.ndarray:
 def golden_samples() -> np.ndarray:
     """Deterministic sample positions for the streaming entry."""
     return (np.arange(500) * 31) % N
+
+
+def golden_window_samples() -> np.ndarray:
+    """Deterministic skewed stream for the windowed entry.
+
+    Every third sample is position 5, so the live window has one genuine
+    heavy hitter; 600 samples over a 300-sample window (epoch size 75)
+    leave the ring mid-window with several expiries behind it.
+    """
+    samples = (np.arange(600) * 31) % N
+    samples[::3] = 5
+    return samples
 
 
 def _register_all(target) -> None:
@@ -71,6 +85,14 @@ def _register_all(target) -> None:
     # schema.  No time budget — the decision is then fully deterministic
     # (build_ms fields are recorded but don't influence the choice).
     target.register_auto("auto", signal, BuildBudget(max_bytes=200))
+    # A sliding-window streaming entry (schema 3): the epoch ring and the
+    # per-epoch Misra–Gries sketches persist in the payload, so the golden
+    # store guards the windowed learner state format too.
+    windowed = WindowedStreamLearner(
+        n=N, k=3, window_size=300, num_epochs=4, sketch_eps=0.02
+    )
+    windowed.extend(golden_window_samples())
+    target.register_stream("window", windowed)
 
 
 def build_store() -> SynopsisStore:
@@ -107,6 +129,10 @@ def record_answers(engine) -> dict:
                 name, np.asarray(QUANTILE_LEVELS)
             ).tolist(),
         }
+        if name == "window":
+            per_entry["heavy_hitters"] = [
+                list(pair) for pair in engine.heavy_hitters(name, HEAVY_PHI)
+            ]
         answers[name] = per_entry
     return answers
 
@@ -118,6 +144,7 @@ def main() -> None:
         "ranges": RANGES,
         "positions": CDF_POSITIONS,
         "levels": QUANTILE_LEVELS,
+        "phi": HEAVY_PHI,
         "answers": record_answers(QueryEngine(store)),
         "summary": store.summary(),
     }
@@ -131,6 +158,7 @@ def main() -> None:
         "ranges": RANGES,
         "positions": CDF_POSITIONS,
         "levels": QUANTILE_LEVELS,
+        "phi": HEAVY_PHI,
         "num_shards": NUM_SHARDS,
         "shard_map": router.shard_map.assignments(),
         "answers": record_answers(router),

@@ -501,6 +501,11 @@ class TestGoldenFixture:
                 "cdf": engine.cdf(name, xs),
                 "quantile": engine.quantile(name, qs),
             }
+            if "heavy_hitters" in answers:
+                got["heavy_hitters"] = [
+                    list(pair)
+                    for pair in engine.heavy_hitters(name, expected["phi"])
+                ]
             for kind, want in answers.items():
                 if name == "poly" and kind != "quantile":
                     # The poly prefix table is rebuilt through a least-squares
@@ -571,6 +576,16 @@ class TestCorruption:
         (path / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(StoreCorruptionError, match="newer than"):
             load_store(path)
+
+    def test_legacy_schema_2_store_still_loads(self, saved_store):
+        """A pre-windowed manifest (schema 2, no windowed fields) must load."""
+        store, path = saved_store
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert all("windowed" not in r for r in manifest["entries"])
+        manifest["schema"] = 2
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_store(path)
+        assert loaded.summary() == store.summary()
 
     def test_mismatched_payload_content(self, saved_store):
         # Swap the two entries' payload files: manifest and payload disagree.
@@ -772,7 +787,7 @@ class TestPersistenceCLI:
 
         assert main(["inspect", store_dir]) == 0
         out = capsys.readouterr().out
-        assert "repro-synopsis-store schema=2 entries=2" in out
+        assert "repro-synopsis-store schema=3 entries=2" in out
         assert "payload=entry-0000.npz" in out
 
         assert main(["load", store_dir]) == 0

@@ -423,6 +423,23 @@ class TestFrontend:
         with pytest.raises(ValueError, match="argument"):
             QueryRequest("range_sum", "a", (1,))
 
+    def test_mapping_and_string_args_rejected_at_construction(self):
+        # Regression: a dict or str has a len() too, so these used to pass
+        # the arity check and die deep in evaluation with "could not
+        # convert string to float: 'q'".  They must fail at construction
+        # with the expected positional form spelled out.
+        with pytest.raises(TypeError, match=r"positional.*\(q,\)"):
+            QueryRequest("quantile", "a", {"q": 0.5})
+        with pytest.raises(TypeError, match=r"positional.*\(a, b\)"):
+            QueryRequest("range_sum", "a", "ab")
+        with pytest.raises(TypeError, match="positional"):
+            QueryRequest("cdf", "a", 7)  # not iterable at all
+
+    def test_args_normalized_to_tuple(self):
+        request = QueryRequest("range_sum", "a", [3, 9])
+        assert request.args == (3, 9)
+        assert isinstance(request.args, tuple)
+
     def test_async_write_bumps_version_in_results(self, pair):
         _, router = pair
         rng = np.random.default_rng(4)
@@ -698,6 +715,11 @@ class TestGoldenShardedFixture:
                 "cdf": router.cdf(name, xs),
                 "quantile": router.quantile(name, qs),
             }
+            if "heavy_hitters" in answers:
+                got["heavy_hitters"] = [
+                    list(pair)
+                    for pair in router.heavy_hitters(name, expected["phi"])
+                ]
             for kind, want in answers.items():
                 if name == "poly" and kind != "quantile":
                     # Same LAPACK caveat as the unsharded golden test.

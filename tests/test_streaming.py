@@ -2,9 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     StreamingHistogramLearner,
+    SynopsisStore,
     empirical_from_samples,
     make_hist_dataset,
     normalize_to_distribution,
@@ -50,6 +53,50 @@ class TestIngestion:
             learner.empirical()
         with pytest.raises(ValueError, match="no samples"):
             learner.histogram()
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=49), max_size=60),
+            min_size=1,
+            max_size=6,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_extend_matches_dict_loop(self, batches, dense):
+        """Regression: both vectorized accumulation paths (dense bincount
+        and sorted-merge) must be bit-identical to the
+        per-unique-position dict loop they replaced."""
+        learner = StreamingHistogramLearner(n=50, k=3)
+        learner._agg.use_dense = dense  # pin the path under test
+        reference: dict = {}
+        for batch in batches:
+            learner.extend(np.asarray(batch, dtype=np.int64))
+            for position in batch:
+                reference[position] = reference.get(position, 0) + 1
+        expected = sorted(reference)
+        positions, counts = learner._agg.arrays()
+        assert positions.tolist() == expected
+        assert counts.tolist() == [reference[p] for p in expected]
+        assert learner.samples_seen == sum(len(b) for b in batches)
+        assert learner.support_size == len(expected)
+
+    def test_empirical_cached_until_new_samples(self):
+        """Regression: empirical() must not rebuild when nothing arrived,
+        and an earlier snapshot stays frozen after later extends."""
+        learner = StreamingHistogramLearner(n=10, k=2)
+        learner.extend(np.asarray([1, 2, 2]))
+        first = learner.empirical()
+        assert learner.empirical() is first  # cached, no rebuild
+        frozen = (first.indices.copy(), first.values.copy())
+        learner.extend(np.asarray([2, 7]))
+        second = learner.empirical()
+        assert second is not first  # dirty flag tripped
+        np.testing.assert_array_equal(second.indices, [1, 2, 7])
+        np.testing.assert_allclose(second.values, np.asarray([1, 3, 1]) / 5)
+        # The snapshot handed out before the extend is unchanged.
+        np.testing.assert_array_equal(first.indices, frozen[0])
+        np.testing.assert_array_equal(first.values, frozen[1])
 
 
 class TestHistogramMaintenance:
@@ -98,6 +145,60 @@ class TestHistogramMaintenance:
         estimate = learner.error_estimate()
         actual = truth.l2_to(learner.histogram())
         assert abs(estimate - actual) <= 4.0 / np.sqrt(m)
+
+
+class TestCountHelpers:
+    def test_small_batch_dense_path_matches(self):
+        # Both dense sub-paths (full bincount for big batches, unique
+        # scatter-add for tiny ones) must agree; a 3-sample extend on a
+        # big universe must not pay an O(n) pass (review fix).
+        learner = StreamingHistogramLearner(n=100_000, k=3)
+        learner.extend(np.asarray([5, 5, 70_000]))  # scatter branch
+        learner.extend(np.arange(100_000) % 7)  # bincount branch
+        assert learner.support_size == 8
+        assert learner._agg.arrays()[1].sum() == learner.samples_seen == 100_003
+
+    def test_subtract_validation_before_mutation(self):
+        # Review fix: an invalid subtraction must not leave the caller's
+        # array half-mutated with negative counts.
+        from repro.sampling.streaming import subtract_sorted_counts
+
+        base_positions = np.asarray([1, 2, 3])
+        base_counts = np.asarray([5, 5, 5])
+        with pytest.raises(ValueError, match="more counts than present"):
+            subtract_sorted_counts(
+                base_positions, base_counts, np.asarray([2]), np.asarray([10])
+            )
+        np.testing.assert_array_equal(base_counts, [5, 5, 5])
+        with pytest.raises(ValueError, match="not present"):
+            subtract_sorted_counts(
+                base_positions, base_counts, np.asarray([9]), np.asarray([1])
+            )
+        np.testing.assert_array_equal(base_counts, [5, 5, 5])
+
+
+class TestStaleness:
+    def test_zero_watermark_always_stale(self):
+        """Regression: a build watermark of 0 means "never built" and must
+        be stale immediately — not once total reaches refresh_factor."""
+        learner = StreamingHistogramLearner(n=10, k=2)
+        learner.extend(np.asarray([1]))
+        assert learner.stale_since(0)
+        assert learner.stale_since(-3)
+        assert not learner.stale_since(1)  # a genuine 1-sample build
+
+    def test_store_entry_with_zero_watermark_refreshes(self):
+        """A store entry whose recorded watermark is 0 (e.g. a legacy
+        manifest without built_at_samples) must refresh on the next
+        extend instead of silently serving the stale build."""
+        learner = StreamingHistogramLearner(n=20, k=2)
+        learner.extend(np.arange(20))
+        store = SynopsisStore()
+        entry = store.register_stream("s", learner)
+        entry.built_at_samples = 0
+        store.extend("s", np.asarray([3]))
+        assert entry.version == 1
+        assert entry.built_at_samples == learner.samples_seen
 
 
 class TestValidation:
