@@ -30,6 +30,9 @@ Serving commands:
 * ``inspect``     — print a persisted store's manifest(s) — for sharded
   stores the parent shard map plus every shard (no payload reads;
   ``--sort error`` ranks entries NaN-safely)
+* ``metrics``     — load a persisted store, probe it with batched
+  queries, and print the metrics exposition (``--format text`` for
+  Prometheus text format, ``json`` for the percentile readout)
 
 Run ``python -m repro <command> --help`` for per-command options.
 """
@@ -49,7 +52,14 @@ from .experiments import (
     scaling,
     table1,
 )
-from .serve.cli import inspect_main, load_main, query_main, save_main, serve_main
+from .serve.cli import (
+    inspect_main,
+    load_main,
+    metrics_main,
+    query_main,
+    save_main,
+    serve_main,
+)
 
 EXPERIMENTS = {
     "figure1": figure1.main,
@@ -69,6 +79,7 @@ COMMANDS = {
     "save": save_main,
     "load": load_main,
     "inspect": inspect_main,
+    "metrics": metrics_main,
 }
 
 

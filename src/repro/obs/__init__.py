@@ -1,0 +1,71 @@
+"""Observability for the serving stack: metrics, tracing, structured logs.
+
+The cross-cutting layer every serving component reports through:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` handing out
+  thread-safe counters, gauges, and fixed log-bucket latency histograms
+  (mergeable summaries: per-shard histograms ``merge()`` into fleet
+  totals, the same discipline as the paper's synopses); the
+  :class:`NullRegistry` no-op twin gates instrumentation overhead; and
+  :func:`timer`, the repo's one timing idiom.
+* :mod:`repro.obs.trace` — :class:`TraceContext` request traces with
+  per-layer spans, propagated via :mod:`contextvars` and re-bindable
+  inside worker threads.
+* :mod:`repro.obs.jsonlog` — one-JSON-object-per-line logging (trace ids
+  attached automatically) and the bounded :class:`SlowQueryLog`.
+* :mod:`repro.obs.export` — Prometheus text-format and JSON renderers:
+  the exact ``/metrics`` payloads the HTTP tier will serve.
+
+Wiring convention: every component takes an optional ``registry``; a
+:class:`~repro.serve.router.ShardRouter` creates one registry and
+injects it into its shards' stores and engines with a ``shard`` label,
+so the whole serving stack reports into one mergeable view.  Free
+functions (``build_synopsis``, ``plan_build``) record into the
+process-wide :func:`get_default_registry`.
+"""
+
+from .export import render_json, render_json_str, render_prometheus
+from .jsonlog import (
+    JsonLogFormatter,
+    SlowQueryLog,
+    configure_json_logging,
+    get_logger,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+    get_default_registry,
+    set_default_registry,
+    timer,
+)
+from .trace import Span, TraceContext, current_trace, span, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "JsonLogFormatter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "SlowQueryLog",
+    "Timer",
+    "TraceContext",
+    "configure_json_logging",
+    "current_trace",
+    "get_default_registry",
+    "get_logger",
+    "render_json",
+    "render_json_str",
+    "render_prometheus",
+    "set_default_registry",
+    "span",
+    "timer",
+    "trace",
+]

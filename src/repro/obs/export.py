@@ -1,0 +1,112 @@
+"""Metrics exposition: Prometheus text format and a JSON view.
+
+:func:`render_prometheus` emits the exact text-format payload the future
+HTTP tier's ``/metrics`` route will return (ROADMAP item 1): counters
+and gauges as single samples, histograms as cumulative ``_bucket{le=..}``
+series plus ``_sum`` / ``_count``, all name-then-label sorted so
+successive scrapes diff cleanly.  :func:`render_json` is the same data
+as one JSON document, with the percentile readout (p50/p95/p99)
+precomputed per histogram — the human/REPL view.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+
+__all__ = ["render_json", "render_json_str", "render_prometheus"]
+
+
+def _label_str(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # Integers print without a trailing .0; floats use repr precision.
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def header(name: str, metric_type: str) -> None:
+        if name in typed:
+            return
+        typed.add(name)
+        help_text = registry.help_text(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {metric_type}")
+
+    for name, labels, metric in registry.collect():
+        if isinstance(metric, Counter):
+            header(name, "counter")
+            lines.append(f"{name}{_label_str(labels)} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            header(name, "gauge")
+            lines.append(f"{name}{_label_str(labels)} {_format_value(metric.value)}")
+        elif isinstance(metric, LatencyHistogram):
+            header(name, "histogram")
+            snap = metric.snapshot()
+            cumulative = 0
+            for edge, bucket in zip(snap["upper_edges"], snap["buckets"]):
+                cumulative += bucket
+                lines.append(
+                    f"{name}_bucket{_label_str(labels, {'le': repr(edge)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_label_str(labels, {'le': '+Inf'})} "
+                f"{snap['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_label_str(labels)} {_format_value(snap['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_label_str(labels)} {snap['count']}"
+            )
+    header("process_uptime_seconds", "gauge")
+    lines.append(f"process_uptime_seconds {repr(registry.uptime_seconds())}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The registry as one JSON-friendly document.
+
+    Histogram entries carry count/sum/mean/max plus the p50/p95/p99
+    readout and the raw bucket layout, so a consumer can re-merge or
+    re-quantile without the original objects.
+    """
+    metrics: List[Dict[str, Any]] = []
+    for name, labels, metric in registry.collect():
+        record: Dict[str, Any] = {
+            "name": name,
+            "type": metric.metric_type,
+            "labels": labels,
+        }
+        record.update(metric.snapshot())
+        metrics.append(record)
+    return {
+        "uptime_seconds": registry.uptime_seconds(),
+        "metrics": metrics,
+    }
+
+
+def render_json_str(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(render_json(registry), indent=indent, sort_keys=False)

@@ -1,0 +1,160 @@
+"""Request tracing: one :class:`TraceContext` per request, per-layer spans.
+
+A trace carries a request id plus the timed spans each serving layer
+records while handling the request (route → coalesce → evaluate →
+reassemble in the async front end).  Propagation is via
+:mod:`contextvars`: code deep in a layer calls :func:`span` without
+threading the trace through every signature, and the front end *binds*
+the trace inside its worker threads explicitly
+(:meth:`TraceContext.bound`) because thread pools do not inherit the
+submitting task's context.
+
+Span recording is thread-safe — per-shard evaluation appends spans to
+the same trace concurrently — and cheap enough to leave on: a span is
+two ``perf_counter`` calls and one locked list append.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "TraceContext", "current_trace", "span", "trace"]
+
+# Request ids are unique per process (pid prefix keeps them unique-ish
+# across a fleet) and cheap: a counter, not a UUID — tracing sits on the
+# request hot path.
+_NEXT_ID = itertools.count(1)
+_PID_PREFIX = f"{os.getpid():x}"
+
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def _new_trace_id() -> str:
+    return f"{_PID_PREFIX}-{next(_NEXT_ID):08x}"
+
+
+@dataclass
+class Span:
+    """One timed section of a trace: name, start offset, duration, tags."""
+
+    name: str
+    start: float  # seconds since the trace began
+    seconds: float = 0.0
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = {
+            "name": self.name,
+            "start_ms": self.start * 1e3,
+            "duration_ms": self.seconds * 1e3,
+        }
+        if self.tags:
+            payload["tags"] = dict(self.tags)
+        return payload
+
+
+class TraceContext:
+    """A request id plus the spans recorded while serving the request."""
+
+    __slots__ = ("trace_id", "name", "started_at", "_origin", "_spans", "_lock")
+
+    def __init__(self, name: str = "request", trace_id: Optional[str] = None) -> None:
+        self.trace_id = _new_trace_id() if trace_id is None else str(trace_id)
+        self.name = name
+        self.started_at = time.time()
+        self._origin = time.perf_counter()
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Record a timed span on this trace (thread-safe)."""
+        start = time.perf_counter()
+        record = Span(name=name, start=start - self._origin, tags=tags)
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            with self._lock:
+                self._spans.append(record)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def elapsed(self) -> float:
+        """Seconds since the trace was created."""
+        return time.perf_counter() - self._origin
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def bound(self) -> Iterator["TraceContext"]:
+        """Make this the current trace for the enclosed block.
+
+        Thread pools do not inherit the submitting task's contextvars,
+        so the front end re-binds the batch's trace inside each worker
+        job; nested library code then reaches it via
+        :func:`current_trace` / :func:`span`.
+        """
+        token = _CURRENT.set(self)
+        try:
+            yield self
+        finally:
+            _CURRENT.reset(token)
+
+    # ------------------------------------------------------------------ #
+    # Readout
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "spans": [s.as_dict() for s in self.spans()],
+        }
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The trace bound to the current context, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def trace(name: str = "request") -> Iterator[TraceContext]:
+    """Start a new trace and bind it to the current context."""
+    context = TraceContext(name)
+    with context.bound():
+        yield context
+
+
+@contextmanager
+def span(name: str, **tags: Any) -> Iterator[Optional[Span]]:
+    """Record a span on the current trace; a silent no-op without one.
+
+    Library code can sprinkle ``with span("hydrate"):`` unconditionally —
+    when no request trace is bound the block runs untimed and nothing is
+    recorded, so un-traced callers pay only a contextvar read.
+    """
+    context = _CURRENT.get()
+    if context is None:
+        yield None
+        return
+    with context.span(name, **tags) as record:
+        yield record

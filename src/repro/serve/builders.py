@@ -28,7 +28,6 @@ payload so a reloaded entry's ``describe()`` matches the pre-save one.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Type, Union
 
@@ -47,6 +46,7 @@ from ..core.merging import construct_histogram
 from ..core.piecewise_poly import PiecewisePolynomial
 from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
+from ..obs.metrics import get_default_registry, timer
 
 __all__ = [
     "COST_CLASSES",
@@ -509,9 +509,17 @@ def build_synopsis(
             f"supported: {', '.join(spec.inputs)}"
         )
     sparse = _as_sparse(q)
-    start = time.perf_counter()
-    synopsis = spec.fn(sparse, k, **options)
-    elapsed = time.perf_counter() - start
+    # Builds run outside any serving component, so they report into the
+    # process-wide default registry, one series per family.
+    registry = get_default_registry()
+    with timer(
+        registry.histogram(
+            "build_seconds", "synopsis construction time", family=family
+        )
+    ) as timed:
+        synopsis = spec.fn(sparse, k, **options)
+    elapsed = timed.seconds
+    registry.counter("builds_total", "synopsis builds", family=family).inc()
     if spec.lossless:
         # Exact by construction: reporting 0.0 directly keeps tight error
         # budgets satisfiable (the prefix-sum formula's cancellation

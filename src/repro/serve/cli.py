@@ -61,7 +61,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
@@ -69,6 +68,13 @@ import numpy as np
 
 from ..core.errorutil import error_sort_key, format_error
 from ..datasets import offline_datasets
+from ..obs import (
+    MetricsRegistry,
+    get_default_registry,
+    render_json_str,
+    render_prometheus,
+    timer,
+)
 from ..sampling.windowed import WindowedStreamLearner
 from .builders import SYNOPSIS_FAMILIES
 from .engine import QueryEngine
@@ -82,7 +88,14 @@ from .planner import BuildBudget
 from .router import ShardRouter
 from .store import SynopsisStore
 
-__all__ = ["inspect_main", "load_main", "query_main", "save_main", "serve_main"]
+__all__ = [
+    "inspect_main",
+    "load_main",
+    "metrics_main",
+    "query_main",
+    "save_main",
+    "serve_main",
+]
 
 
 def _load_dataset(name: str, n: int, seed: int) -> np.ndarray:
@@ -298,6 +311,8 @@ def _summary_line(meta: dict) -> str:
         line += f" streaming samples={meta.get('samples_seen', 0)}"
         if meta.get("windowed"):
             line += f" window={meta.get('window_total', 0)}"
+    if meta.get("build_seconds") is not None:
+        line += f" build={meta['build_seconds'] * 1e3:.2f}ms"
     return line
 
 
@@ -397,9 +412,9 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         run()  # warm the prefix-table cache
-        start = time.perf_counter()
-        answers = run()
-        elapsed = time.perf_counter() - start
+        with timer() as timed:
+            answers = run()
+        elapsed = timed.seconds
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
 
@@ -432,9 +447,9 @@ def _heavy_hitters_query(args: argparse.Namespace, values: np.ndarray) -> int:
             for _ in range(args.num_queries)
         ]
         run()  # warm
-        start = time.perf_counter()
-        answers = run()
-        elapsed = time.perf_counter() - start
+        with timer() as timed:
+            answers = run()
+        elapsed = timed.seconds
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     meta = entry.describe()
@@ -453,6 +468,30 @@ def _heavy_hitters_query(args: argparse.Namespace, values: np.ndarray) -> int:
     qps = args.num_queries / max(elapsed, 1e-12)
     print(f"evaluation: {elapsed * 1e3:.3f}ms total, {qps:,.0f} queries/sec")
     return 0
+
+
+def _merged_registry(router: ShardRouter) -> MetricsRegistry:
+    """The full metrics view: router registry + process-default registry.
+
+    The router's registry holds the serving-side series (per-shard
+    engine/store/front-end); build and planner metrics live in the
+    process-wide default registry.  Merging into a fresh registry — the
+    same ``merge()`` discipline the latency histograms support — yields
+    one exposition document without mutating either source.
+    """
+    merged = MetricsRegistry()
+    merged.merge_from(router.registry)
+    merged.merge_from(get_default_registry())
+    return merged
+
+
+def _print_metrics(out, router: ShardRouter, fmt: str) -> None:
+    if fmt == "json":
+        print(render_json_str(_merged_registry(router)), file=out)
+    elif fmt == "text":
+        print(render_prometheus(_merged_registry(router)), end="", file=out)
+    else:
+        print(f"unknown metrics format {fmt!r} (expected text or json)", file=out)
 
 
 def _print_answer(out, value) -> None:
@@ -523,7 +562,7 @@ def serve_main(
         f"serving {len(router)} synopses of {source} on "
         f"{router.num_shards} shard(s) ({', '.join(router.names())}); "
         f"commands: range mean point cdf quantile topk inner heavy summary "
-        f"inspect plan shards cache save quit",
+        f"inspect plan shards cache metrics save quit",
         file=out,
     )
     for line in src:
@@ -542,6 +581,8 @@ def serve_main(
                 print(f"saved {len(router)} entries to {words[1]}", file=out)
             elif cmd == "cache":
                 _print_cache_info(out, router.cache_info())
+            elif cmd == "metrics":
+                _print_metrics(out, router, words[1] if len(words) > 1 else "text")
             elif cmd == "inspect":
                 meta = router.describe(words[1])
                 print(_summary_line(meta), file=out)
@@ -607,6 +648,55 @@ def serve_main(
             StoreCorruptionError,
         ) as exc:
             print(f"error: {exc}", file=out)
+    return 0
+
+
+def metrics_main(
+    argv: Optional[Sequence[str]] = None,
+    stdout: Optional[TextIO] = None,
+) -> int:
+    """Probe a persisted store with queries and print its metrics exposition."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro metrics", description=metrics_main.__doc__
+    )
+    parser.add_argument("store_dir", help="store directory to load and probe")
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="Prometheus text exposition (default) or the JSON document "
+        "with p50/p95/p99 precomputed per histogram",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=64,
+        metavar="B",
+        help="batched probe queries per entry (exercises the serving hot "
+        "path so the exposition shows real latency series)",
+    )
+    _shards_argument(parser)
+    args = parser.parse_args(argv)
+    out = sys.stdout if stdout is None else stdout
+    if args.queries < 1:
+        raise SystemExit(f"--queries must be positive, got {args.queries}")
+
+    router = _load_router_or_exit(
+        args.store_dir, lazy=True, expect_shards=args.shards
+    )
+    rng = np.random.default_rng(0)
+    for name in router.names():
+        try:
+            n = int(router[name].describe()["n"])
+            a = rng.integers(0, n, args.queries)
+            b = rng.integers(0, n, args.queries)
+            router.range_sum(name, np.minimum(a, b), np.maximum(a, b))
+            router.point_mass(name, rng.integers(0, n, args.queries))
+        except (KeyError, ValueError, TypeError, StoreCorruptionError) as exc:
+            # stderr, not the exposition stream: a failed probe must not
+            # corrupt the JSON document or the text-format payload.
+            print(f"probe of {name!r} failed: {exc}", file=sys.stderr)
+    _print_metrics(out, router, args.format)
     return 0
 
 

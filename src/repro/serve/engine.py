@@ -25,9 +25,9 @@ hot kernels, which is what lets per-shard thread pools scale.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from ..core.integral import PiecewisePrefix
 from ..core.intervals import initial_partition
 from ..core.piecewise_poly import PiecewisePolynomial
 from ..core.sparse import SparseFunction
+from ..obs.metrics import Counter, MetricsRegistry
 from .store import SynopsisStore
 
 __all__ = ["CacheStats", "PrefixTable", "QueryEngine"]
@@ -265,7 +266,6 @@ class PrefixTable:
         return float(np.dot(self.point_mass(xs), other.point_mass(xs)))
 
 
-@dataclass
 class CacheStats:
     """Counters for the engine's prefix-table cache.
 
@@ -273,11 +273,65 @@ class CacheStats:
     so cache behavior is reportable per entry (a hot entry hitting 99%
     and a thrashing one evicting every query look identical in the
     global numbers).
+
+    The counts live in :class:`~repro.obs.metrics.Counter` instruments —
+    normally registered in the engine's
+    :class:`~repro.obs.metrics.MetricsRegistry`, so ``cache_info()`` is a
+    view over the same series the ``/metrics`` exposition serves; a
+    standalone ``CacheStats()`` owns private counters.
     """
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
+    __slots__ = ("_hits", "_misses", "_evictions")
+
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        counters: Optional[Tuple[Any, Any, Any]] = None,
+    ) -> None:
+        if counters is not None:
+            self._hits, self._misses, self._evictions = counters
+        else:
+            self._hits, self._misses, self._evictions = (
+                Counter(),
+                Counter(),
+                Counter(),
+            )
+        for counter, initial in (
+            (self._hits, hits),
+            (self._misses, misses),
+            (self._evictions, evictions),
+        ):
+            if initial:
+                counter.inc(initial)
+
+    def hit(self) -> None:
+        self._hits.inc()
+
+    def miss(self) -> None:
+        self._misses.inc()
+
+    def evicted(self) -> None:
+        self._evictions.inc()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -296,27 +350,138 @@ class QueryEngine:
     refreshing a streaming-backed entry invalidates only that entry.
     """
 
-    def __init__(self, store: SynopsisStore, cache_size: int = 32) -> None:
+    #: Every query kind the engine answers; each gets a latency histogram
+    #: and a call counter in the registry, labeled ``kind=...`` (plus the
+    #: engine's own labels, e.g. its shard index).
+    QUERY_KINDS = (
+        "range_sum",
+        "range_mean",
+        "point_mass",
+        "cdf",
+        "quantile",
+        "top_k",
+        "inner_product",
+        "heavy_hitters",
+    )
+
+    def __init__(
+        self,
+        store: SynopsisStore,
+        cache_size: int = 32,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.store = store
         self.cache_size = int(cache_size)
         self._tables: "OrderedDict[Tuple[str, int], PrefixTable]" = OrderedDict()
-        self.stats = CacheStats()
+        # Per-engine registry by default, so two engines never share
+        # counters by accident; a ShardRouter injects one shared registry
+        # with per-shard labels instead, making the fleet view mergeable.
+        self.registry = MetricsRegistry() if registry is None else registry
+        self._labels = {k: str(v) for k, v in (labels or {}).items()}
+        self.stats = CacheStats(
+            counters=(
+                self.registry.counter(
+                    "engine_cache_hits_total",
+                    "prefix-table cache hits",
+                    **self._labels,
+                ),
+                self.registry.counter(
+                    "engine_cache_misses_total",
+                    "prefix-table cache misses (table builds)",
+                    **self._labels,
+                ),
+                self.registry.counter(
+                    "engine_cache_evictions_total",
+                    "prefix-table cache evictions",
+                    **self._labels,
+                ),
+            )
+        )
         self._entry_stats: Dict[str, CacheStats] = {}
+        # Pre-created per-kind instruments: the query hot path must not
+        # pay a registry lookup (dict + label-key build) per call.
+        self._instruments = {
+            kind: (
+                self.registry.histogram(
+                    "engine_query_seconds",
+                    "batched query evaluation latency",
+                    kind=kind,
+                    **self._labels,
+                ),
+                self.registry.counter(
+                    "engine_queries_total",
+                    "batched query evaluations",
+                    kind=kind,
+                    **self._labels,
+                ),
+            )
+            for kind in self.QUERY_KINDS
+        }
         # Guards the LRU dict and both stats maps; snapshot hydration,
         # table construction, and table *evaluation* all happen outside
         # it, so concurrent queries only serialize on cache bookkeeping,
         # never on I/O or NumPy work.
         self._lock = threading.RLock()
+        # Dropping a store entry must drop its per-entry stats too, or a
+        # long-lived server churning entries leaks one CacheStats (and
+        # one registry series) per removed name.
+        store._add_removal_listener(self)
 
     # ------------------------------------------------------------------ #
 
     def _stats_for(self, name: str) -> CacheStats:
         stats = self._entry_stats.get(name)
         if stats is None:
-            stats = self._entry_stats[name] = CacheStats()
+            stats = self._entry_stats[name] = CacheStats(
+                counters=(
+                    self.registry.counter(
+                        "engine_entry_cache_hits_total", entry=name, **self._labels
+                    ),
+                    self.registry.counter(
+                        "engine_entry_cache_misses_total", entry=name, **self._labels
+                    ),
+                    self.registry.counter(
+                        "engine_entry_cache_evictions_total",
+                        entry=name,
+                        **self._labels,
+                    ),
+                )
+            )
         return stats
+
+    def _record(self, kind: str, start: float) -> None:
+        self.observe_query(kind, time.perf_counter() - start)
+
+    def observe_query(self, kind: str, seconds: float) -> None:
+        """Record one query evaluation into the per-kind latency series.
+
+        The engine's own query methods call this implicitly; the serving
+        front end calls it for evaluations on its direct-table fast path
+        (which fetches ``table_versioned`` and evaluates the table
+        itself), so per-kind series stay complete regardless of the path
+        a query took.
+        """
+        histogram, counter = self._instruments[kind]
+        histogram.observe(seconds)
+        counter.inc()
+
+    def forget(self, name: str) -> None:
+        """Drop all per-entry state for a removed store entry.
+
+        Called by the store when ``remove(name)`` runs: cached prefix
+        tables for the name are discarded (not counted as evictions — the
+        entry is gone, not displaced), its per-entry ``CacheStats`` is
+        dropped, and its registry series are unregistered so exposition
+        does not accumulate series for dead entries.
+        """
+        with self._lock:
+            for key in [k for k in self._tables if k[0] == name]:
+                del self._tables[key]
+            self._entry_stats.pop(name, None)
+        self.registry.drop(entry=name, **self._labels)
 
     def table(self, name: str) -> PrefixTable:
         """The (cached) prefix table for store entry ``name``."""
@@ -344,11 +509,11 @@ class QueryEngine:
             cached = self._tables.get(key)
             if cached is not None:
                 self._tables.move_to_end(key)
-                self.stats.hits += 1
-                entry_stats.hits += 1
+                self.stats.hit()
+                entry_stats.hit()
                 return version, cached
-            self.stats.misses += 1
-            entry_stats.misses += 1
+            self.stats.miss()
+            entry_stats.miss()
         table = PrefixTable.from_synopsis(synopsis)
         with self._lock:
             existing = self._tables.get(key)
@@ -363,13 +528,13 @@ class QueryEngine:
             # Drop tables for stale versions of the same entry immediately.
             for old in [k for k in self._tables if k[0] == name]:
                 del self._tables[old]
-                self.stats.evictions += 1
-                entry_stats.evictions += 1
+                self.stats.evicted()
+                entry_stats.evicted()
             self._tables[key] = table
             while len(self._tables) > self.cache_size:
                 evicted, _ = self._tables.popitem(last=False)
-                self.stats.evictions += 1
-                self._stats_for(evicted[0]).evictions += 1
+                self.stats.evicted()
+                self._stats_for(evicted[0]).evicted()
             return version, table
 
     def warm(self, names: Optional[List[str]] = None) -> int:
@@ -411,31 +576,59 @@ class QueryEngine:
 
     def range_sum(self, name: str, a: ArrayLike, b: ArrayLike):
         """Batched ``sum_{i in [a, b]}`` over closed ranges of entry ``name``."""
-        return self.table(name).range_sum(a, b)
+        start = time.perf_counter()
+        try:
+            return self.table(name).range_sum(a, b)
+        finally:
+            self._record("range_sum", start)
 
     def range_mean(self, name: str, a: ArrayLike, b: ArrayLike):
         """Batched mean over closed ranges ``[a, b]`` of entry ``name``."""
-        return self.table(name).range_mean(a, b)
+        start = time.perf_counter()
+        try:
+            return self.table(name).range_mean(a, b)
+        finally:
+            self._record("range_mean", start)
 
     def point_mass(self, name: str, x: ArrayLike):
         """Batched point evaluation of entry ``name``."""
-        return self.table(name).point_mass(x)
+        start = time.perf_counter()
+        try:
+            return self.table(name).point_mass(x)
+        finally:
+            self._record("point_mass", start)
 
     def cdf(self, name: str, x: ArrayLike):
         """Batched normalized CDF of entry ``name``."""
-        return self.table(name).cdf(x)
+        start = time.perf_counter()
+        try:
+            return self.table(name).cdf(x)
+        finally:
+            self._record("cdf", start)
 
     def quantile(self, name: str, q: ArrayLike):
         """Batched quantile positions of entry ``name``."""
-        return self.table(name).quantile(q)
+        start = time.perf_counter()
+        try:
+            return self.table(name).quantile(q)
+        finally:
+            self._record("quantile", start)
 
     def top_k_buckets(self, name: str, m: int) -> List[Tuple[int, int, float]]:
         """The ``m`` heaviest pieces of entry ``name``."""
-        return self.table(name).top_k_buckets(m)
+        start = time.perf_counter()
+        try:
+            return self.table(name).top_k_buckets(m)
+        finally:
+            self._record("top_k", start)
 
     def inner_product(self, name_a: str, name_b: str) -> float:
         """``<f_a, f_b>`` between two stored synopses on the same domain."""
-        return self.table(name_a).inner_product(self.table(name_b))
+        start = time.perf_counter()
+        try:
+            return self.table(name_a).inner_product(self.table(name_b))
+        finally:
+            self._record("inner_product", start)
 
     def heavy_hitters(self, name: str, phi: float) -> List[Tuple[int, int]]:
         """Sliding-window ``phi``-heavy hitters of entry ``name``.
@@ -446,4 +639,8 @@ class QueryEngine:
         absorbed since the last refresh too.  Raises :exc:`ValueError`
         for entries not backed by a windowed stream.
         """
-        return self.store.heavy_hitters(name, phi)
+        start = time.perf_counter()
+        try:
+            return self.store.heavy_hitters(name, phi)
+        finally:
+            self._record("heavy_hitters", start)

@@ -30,6 +30,7 @@ attributable to one consistent ``(name, version)`` snapshot.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -37,6 +38,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.jsonlog import SlowQueryLog
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, span
 from .persistence import StoreCorruptionError
 from .router import Shard, ShardRouter
 from .store import StoreEntry
@@ -156,6 +160,13 @@ class AsyncServingFrontend:
     coalesce:
         Merge same-``(name, kind)`` requests within a shard into one
         vectorized call (on by default; disable to measure its effect).
+    registry:
+        Metrics registry to report into; defaults to the router's, so the
+        front end's counters live next to the per-shard engine series in
+        one exposition document.
+    slow_query_log:
+        Where batches slower than the threshold get recorded; a default
+        100 ms :class:`~repro.obs.jsonlog.SlowQueryLog` if omitted.
     """
 
     def __init__(
@@ -163,13 +174,81 @@ class AsyncServingFrontend:
         router: ShardRouter,
         max_workers: Optional[int] = None,
         coalesce: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        slow_query_log: Optional[SlowQueryLog] = None,
     ) -> None:
         self.router = router
         self.coalesce = coalesce
+        self.registry = router.registry if registry is None else registry
+        self.slow_log = (
+            SlowQueryLog() if slow_query_log is None else slow_query_log
+        )
+        #: The trace of the most recent batch (REPL / debugging surface).
+        self.last_trace: Optional[TraceContext] = None
+        self._c_requests = self.registry.counter(
+            "frontend_requests_total", "individual query requests accepted"
+        )
+        self._c_batches = self.registry.counter(
+            "frontend_batches_total", "multi-name batches served"
+        )
+        self._c_coalesced = self.registry.counter(
+            "frontend_coalesced_requests_total",
+            "requests answered from a >1-request coalesced engine call",
+        )
+        self._c_errors = self.registry.counter(
+            "frontend_request_errors_total",
+            "requests that returned a per-request error",
+        )
+        # Batch sizes are counts, not seconds: buckets 1..~1M instead of
+        # the latency range.
+        self._h_batch_size = self.registry.histogram(
+            "frontend_batch_size",
+            "requests per batch",
+            exp_range=(0, 20),
+        )
+        self._h_batch_seconds = self.registry.histogram(
+            "frontend_batch_seconds", "end-to-end batch latency"
+        )
+        # Per-shard series, pre-minted so the per-batch hot path never
+        # builds a registry key.  These count *requests routed* (before
+        # coalescing), so summing across shards must equal
+        # frontend_requests_total — the mergeability check the tests pin.
+        self._per_shard = {
+            shard.index: (
+                self.registry.histogram(
+                    "frontend_shard_seconds",
+                    "per-shard evaluation time within a batch",
+                    shard=str(shard.index),
+                ),
+                self.registry.counter(
+                    "frontend_shard_requests_total",
+                    "requests routed to the shard",
+                    shard=str(shard.index),
+                ),
+            )
+            for shard in router.shards
+        }
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers or max(router.num_shards, 1),
             thread_name_prefix="repro-serve",
         )
+
+    def _shard_instruments(self, index: int):
+        instruments = self._per_shard.get(index)
+        if instruments is None:  # a shard added after construction
+            instruments = self._per_shard[index] = (
+                self.registry.histogram(
+                    "frontend_shard_seconds",
+                    "per-shard evaluation time within a batch",
+                    shard=str(index),
+                ),
+                self.registry.counter(
+                    "frontend_shard_requests_total",
+                    "requests routed to the shard",
+                    shard=str(index),
+                ),
+            )
+        return instruments
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -200,23 +279,51 @@ class AsyncServingFrontend:
         corrupt payload) are reported in ``QueryResult.error`` rather
         than raised, keeping one poisoned request from failing the batch.
         """
+        started = time.perf_counter()
+        trace = TraceContext("query_batch")
         indexed = list(enumerate(requests))
-        by_shard: Dict[int, List[Tuple[int, QueryRequest]]] = {}
-        for index, request in indexed:
-            shard_index = self.router.shard_map.shard_of(request.name)
-            by_shard.setdefault(shard_index, []).append((index, request))
+        self._c_batches.inc()
+        self._c_requests.inc(len(indexed))
+        self._h_batch_size.observe(max(len(indexed), 1))
+        with trace.span("route", requests=len(indexed)):
+            by_shard: Dict[int, List[Tuple[int, QueryRequest]]] = {}
+            for index, request in indexed:
+                shard_index = self.router.shard_map.shard_of(request.name)
+                by_shard.setdefault(shard_index, []).append((index, request))
         loop = asyncio.get_running_loop()
         jobs = [
             loop.run_in_executor(
-                self._executor, self._serve_shard, self.router.shards[s], items
+                self._executor,
+                self._serve_shard,
+                self.router.shards[s],
+                items,
+                trace,
             )
             for s, items in by_shard.items()
         ]
-        results: List[Optional[QueryResult]] = [None] * len(indexed)
-        for shard_results in await asyncio.gather(*jobs):
-            for result in shard_results:
-                results[result.index] = result
-        return [r for r in results if r is not None]
+        gathered = await asyncio.gather(*jobs)
+        with trace.span("reassemble"):
+            results: List[Optional[QueryResult]] = [None] * len(indexed)
+            for shard_results in gathered:
+                for result in shard_results:
+                    results[result.index] = result
+            ordered = [r for r in results if r is not None]
+        errors = sum(1 for r in ordered if not r.ok)
+        if errors:
+            self._c_errors.inc(errors)
+        elapsed = time.perf_counter() - started
+        self._h_batch_seconds.observe(elapsed)
+        self.last_trace = trace
+        with trace.bound():  # attach the trace id to the slow-log entry
+            self.slow_log.record(
+                "query_batch",
+                f"batch[{len(indexed)}]",
+                elapsed,
+                requests=len(indexed),
+                shards=len(by_shard),
+                errors=errors,
+            )
+        return ordered
 
     def serve(self, requests: Sequence[QueryRequest]) -> List[QueryResult]:
         """Synchronous convenience wrapper around :meth:`query_batch`.
@@ -260,34 +367,62 @@ class AsyncServingFrontend:
     # ------------------------------------------------------------------ #
 
     def _serve_shard(
+        self,
+        shard: Shard,
+        items: List[Tuple[int, QueryRequest]],
+        trace: Optional[TraceContext] = None,
+    ) -> List[QueryResult]:
+        # Runs on a pool worker: thread pools do not inherit the event
+        # loop task's contextvars, so the batch trace must be re-bound
+        # here for the coalesce/evaluate spans (and any slow-log entry
+        # recorded downstream) to land on the right request.
+        if trace is not None:
+            with trace.bound():
+                return self._serve_shard_inner(shard, items)
+        return self._serve_shard_inner(shard, items)
+
+    def _serve_shard_inner(
         self, shard: Shard, items: List[Tuple[int, QueryRequest]]
     ) -> List[QueryResult]:
-        groups: Dict[Tuple[str, str], List[Tuple[int, QueryRequest]]] = {}
-        singles: List[Tuple[int, QueryRequest]] = []
-        for index, request in items:
-            # Only scalar/1-D arguments coalesce: stacking happens along
-            # axis 0, so higher-dimensional query arrays (which the engine
-            # accepts) would split back incorrectly — serve those one by
-            # one instead.
-            if (
-                self.coalesce
-                and request.kind in _COALESCIBLE
-                and all(np.ndim(arg) <= 1 for arg in request.args)
-            ):
-                groups.setdefault((request.name, request.kind), []).append(
-                    (index, request)
-                )
-            else:
-                singles.append((index, request))
-        results: List[QueryResult] = []
-        for (name, kind), group in groups.items():
-            if len(group) == 1:
-                results.append(self._serve_one(shard, *group[0]))
-            else:
-                results.extend(self._serve_coalesced(shard, name, kind, group))
-        for index, request in singles:
-            results.append(self._serve_one(shard, index, request))
-        return results
+        started = time.perf_counter()
+        histogram, counter = self._shard_instruments(shard.index)
+        counter.inc(len(items))
+        try:
+            with span("coalesce", shard=shard.index):
+                groups: Dict[Tuple[str, str], List[Tuple[int, QueryRequest]]] = {}
+                singles: List[Tuple[int, QueryRequest]] = []
+                for index, request in items:
+                    # Only scalar/1-D arguments coalesce: stacking happens
+                    # along axis 0, so higher-dimensional query arrays
+                    # (which the engine accepts) would split back
+                    # incorrectly — serve those one by one instead.
+                    if (
+                        self.coalesce
+                        and request.kind in _COALESCIBLE
+                        and all(np.ndim(arg) <= 1 for arg in request.args)
+                    ):
+                        groups.setdefault(
+                            (request.name, request.kind), []
+                        ).append((index, request))
+                    else:
+                        singles.append((index, request))
+            merged = sum(len(group) for group in groups.values() if len(group) > 1)
+            if merged:
+                self._c_coalesced.inc(merged)
+            with span("evaluate", shard=shard.index, requests=len(items)):
+                results: List[QueryResult] = []
+                for (name, kind), group in groups.items():
+                    if len(group) == 1:
+                        results.append(self._serve_one(shard, *group[0]))
+                    else:
+                        results.extend(
+                            self._serve_coalesced(shard, name, kind, group)
+                        )
+                for index, request in singles:
+                    results.append(self._serve_one(shard, index, request))
+            return results
+        finally:
+            histogram.observe(time.perf_counter() - started)
 
     def _serve_one(
         self, shard: Shard, index: int, request: QueryRequest
@@ -310,16 +445,24 @@ class AsyncServingFrontend:
                     version=version,
                 )
             version, table = shard.engine.table_versioned(request.name)
-            if request.kind == "inner_product":
-                # The partner entry may live on another shard; pair its
-                # table from that shard's engine.  The reported version
-                # is the primary (routed) entry's snapshot.
-                partner = str(request.args[0])
-                value = table.inner_product(
-                    self.router.table_versioned(partner)[1]
+            start = time.perf_counter()
+            try:
+                if request.kind == "inner_product":
+                    # The partner entry may live on another shard; pair
+                    # its table from that shard's engine.  The reported
+                    # version is the primary (routed) entry's snapshot.
+                    partner = str(request.args[0])
+                    value = table.inner_product(
+                        self.router.table_versioned(partner)[1]
+                    )
+                else:
+                    value = _evaluate(table, request.kind, request.args)
+            finally:
+                # The direct-table path skips the engine's query methods,
+                # so feed its per-kind latency series explicitly.
+                shard.engine.observe_query(
+                    request.kind, time.perf_counter() - start
                 )
-            else:
-                value = _evaluate(table, request.kind, request.args)
         except _REQUEST_ERRORS as exc:
             return QueryResult(
                 index=index, name=request.name, kind=request.kind, error=str(exc)
@@ -374,10 +517,15 @@ class AsyncServingFrontend:
             np.concatenate([broadcast[position] for broadcast in per_request])
             for position in range(QUERY_KINDS[kind])
         )
+        start = time.perf_counter()
         try:
             stacked = _evaluate(table, kind, stacked_args)
         except _REQUEST_ERRORS:
             return [self._serve_one(shard, i, req) for i, req in group]
+        finally:
+            # One stacked evaluation = one engine-side observation; the
+            # coalescing win shows up as fewer, slightly fatter samples.
+            shard.engine.observe_query(kind, time.perf_counter() - start)
         results = []
         offsets = np.cumsum([0] + lengths)
         for g, (index, _) in enumerate(group):

@@ -53,6 +53,7 @@ candidates.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -67,6 +68,7 @@ from ..core.errorutil import (
 )
 from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
+from ..obs.metrics import get_default_registry
 from .builders import (
     COST_CLASSES,
     SYNOPSIS_FAMILIES,
@@ -519,6 +521,10 @@ def plan_build(
             "'exact' copy; set max_bytes and/or max_error "
             "(max_build_ms alone cannot steer the tradeoff)"
         )
+    # Planning, like building, happens outside any serving component, so
+    # its metrics go to the process-wide default registry.
+    registry = get_default_registry()
+    plan_started = time.perf_counter()
     objective = budget.resolved_objective()
     # min_bytes wants the smallest feasible k, so scan ascending; min_error
     # wants the largest k that still fits the size budget, so scan
@@ -565,6 +571,10 @@ def plan_build(
         result = build_synopsis(
             sparse, candidate.family, candidate.k, **candidate.options
         )
+        registry.counter(
+            "plan_candidates_built_total",
+            "candidate synopses actually built while planning",
+        ).inc()
         violations = budget.violations(result)
         candidate.status = "built"
         candidate.feasible = not violations
@@ -669,6 +679,12 @@ def plan_build(
                 f" ({time_pruned} costlier candidates pruned: cheaper-tier "
                 f"builds already exceeded max_build_ms)"
             )
+        registry.counter(
+            "plans_infeasible_total", "plan_build calls certified infeasible"
+        ).inc()
+        registry.histogram("plan_seconds", "planner decision time").observe(
+            time.perf_counter() - plan_started
+        )
         raise BudgetInfeasibleError(
             f"no synopsis family satisfies the budget ({budget.describe()}) "
             f"over families {', '.join(family_names)} and k grid "
@@ -677,6 +693,12 @@ def plan_build(
         )
 
     candidates[incumbent].chosen = True
+    registry.counter(
+        "plans_total", "successful plan_build decisions"
+    ).inc()
+    registry.histogram("plan_seconds", "planner decision time").observe(
+        time.perf_counter() - plan_started
+    )
     return BuildPlan(
         budget=budget,
         objective=objective,

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
+from ..obs.metrics import MetricsRegistry
 from ..sampling.streaming import StreamingHistogramLearner
 from .engine import PrefixTable, QueryEngine
 from .planner import BuildBudget, BuildPlan
@@ -161,6 +162,7 @@ class ShardRouter:
         cache_size: int = 32,
         shard_map: Optional[ShardMap] = None,
         stores: Optional[Sequence[SynopsisStore]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if shard_map is None:
             shard_map = ShardMap(num_shards)
@@ -175,6 +177,18 @@ class ShardRouter:
             )
         self.shard_map = shard_map
         self.cache_size = int(cache_size)
+        # One registry for the whole router: each shard's store and
+        # engine report into it under a ``shard=<index>`` label, so the
+        # fleet view is one mergeable document instead of N disjoint
+        # registries (the paper's mergeability discipline applied to
+        # operational metrics).
+        self.registry = MetricsRegistry() if registry is None else registry
+        self._c_reshards = self.registry.counter(
+            "router_reshards_total", "reshard migrations performed"
+        )
+        self._c_migrated = self.registry.counter(
+            "router_entries_migrated_total", "entries moved during resharding"
+        )
         self.shards: List[Shard] = [
             self._make_shard(
                 index, SynopsisStore() if stores is None else stores[index]
@@ -183,10 +197,17 @@ class ShardRouter:
         ]
 
     def _make_shard(self, index: int, store: SynopsisStore) -> Shard:
+        labels = {"shard": str(index)}
+        store.bind_registry(self.registry, labels)
         return Shard(
             index=index,
             store=store,
-            engine=QueryEngine(store, cache_size=self.cache_size),
+            engine=QueryEngine(
+                store,
+                cache_size=self.cache_size,
+                registry=self.registry,
+                labels=labels,
+            ),
         )
 
     @classmethod
@@ -463,7 +484,9 @@ class ShardRouter:
         new = ShardRouter(
             num_shards,
             cache_size=self.cache_size if cache_size is None else cache_size,
+            registry=self.registry,
         )
+        self._c_reshards.inc()
         for name in self.names():
             source = self.shard_of(name)
             with source.write_lock:
@@ -472,6 +495,7 @@ class ShardRouter:
                 floor = source.store._last_versions.get(name, entry.version)
             target = new.shards[new.shard_map.assign(name)]
             target.store._adopt(entry, last_version=floor)
+            self._c_migrated.inc()
         # Removed names keep their sticky assignment and version floor, so
         # re-registering them after the migration never reissues a served
         # version either.

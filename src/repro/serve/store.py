@@ -23,12 +23,14 @@ guarantees reader consistency.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.sparse import SparseFunction
+from ..obs.metrics import MetricsRegistry, timer
 from ..sampling.streaming import StreamingHistogramLearner
 from ..sampling.windowed import WindowedStreamLearner
 from .builders import BuildResult, build_synopsis
@@ -148,7 +150,11 @@ class StoreEntry:
 class SynopsisStore:
     """Registry of named series, each summarized by a chosen synopsis family."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
         self._entries: Dict[str, StoreEntry] = {}
         # Last version ever issued per name, surviving remove(): a name's
         # (name, version) pairs must never repeat, or engine caches would
@@ -157,6 +163,55 @@ class SynopsisStore:
         # Guards _entries/_last_versions and every (result, version) swap;
         # RLock so refresh() can run under a caller already holding it.
         self._lock = threading.RLock()
+        # Engines (and anything else caching per-entry state) register
+        # here so remove() can tell them to drop that state.  Weak refs:
+        # the store must not keep dead engines alive.
+        self._removal_listeners: "weakref.WeakSet" = weakref.WeakSet()
+        self.bind_registry(
+            MetricsRegistry() if registry is None else registry, labels
+        )
+
+    def bind_registry(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """(Re)bind this store's instruments into ``registry``.
+
+        A :class:`~repro.serve.router.ShardRouter` calls this to point a
+        shard's store at the router-wide registry with a ``shard`` label;
+        instruments are re-minted there, and timing closures installed
+        earlier (the hydrator wrappers) pick them up dynamically.
+        """
+        self.registry = registry
+        if labels is not None:
+            self._labels = {k: str(v) for k, v in labels.items()}
+        elif not hasattr(self, "_labels"):
+            self._labels = {}
+        self._h_register = registry.histogram(
+            "store_register_seconds",
+            "synopsis build+install time at registration",
+            **self._labels,
+        )
+        self._h_refresh = registry.histogram(
+            "store_refresh_seconds",
+            "streaming re-synopsize time",
+            **self._labels,
+        )
+        self._h_hydrate = registry.histogram(
+            "store_hydrate_seconds",
+            "lazy payload hydration time",
+            **self._labels,
+        )
+        self._c_version_bumps = registry.counter(
+            "store_version_bumps_total",
+            "entry version bumps (installs and refreshes)",
+            **self._labels,
+        )
+
+    def _add_removal_listener(self, listener: Any) -> None:
+        """Register an object whose ``forget(name)`` runs after ``remove``."""
+        self._removal_listeners.add(listener)
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -175,8 +230,9 @@ class SynopsisStore:
         Re-registering an existing name replaces the synopsis and bumps the
         version (so engine caches drop the stale table).
         """
-        result = build_synopsis(data, family, k, **options)
-        return self._install(name, result, learner=None)
+        with timer(self._h_register):
+            result = build_synopsis(data, family, k, **options)
+            return self._install(name, result, learner=None)
 
     def register_auto(
         self,
@@ -195,10 +251,11 @@ class SynopsisStore:
         Raises :exc:`~repro.serve.planner.BudgetInfeasibleError` when no
         family satisfies the budget.
         """
-        plan = plan_build(
-            data, budget, families=families, k_grid=k_grid, **plan_options
-        )
-        return self._install(name, plan.result, learner=None, plan=plan)
+        with timer(self._h_register):
+            plan = plan_build(
+                data, budget, families=families, k_grid=k_grid, **plan_options
+            )
+            return self._install(name, plan.result, learner=None, plan=plan)
 
     def register_stream_auto(
         self,
@@ -216,16 +273,17 @@ class SynopsisStore:
         :meth:`refresh` re-plans (same budget, families, and k-grid)
         whenever the learner's drift watermark has moved.
         """
-        plan = plan_build(
-            learner.empirical(),
-            budget,
-            families=families,
-            k_grid=k_grid,
-            **plan_options,
-        )
-        entry = self._install(name, plan.result, learner=learner, plan=plan)
-        entry.built_at_samples = learner.samples_seen
-        return entry
+        with timer(self._h_register):
+            plan = plan_build(
+                learner.empirical(),
+                budget,
+                families=families,
+                k_grid=k_grid,
+                **plan_options,
+            )
+            entry = self._install(name, plan.result, learner=learner, plan=plan)
+            entry.built_at_samples = learner.samples_seen
+            return entry
 
     def register_stream(
         self,
@@ -242,11 +300,14 @@ class SynopsisStore:
         rebuilt by :meth:`refresh` / :meth:`extend` as the stream grows.
         ``k`` defaults to the learner's own piece budget.
         """
-        budget = learner.k if k is None else int(k)
-        result = build_synopsis(learner.empirical(), family, budget, **options)
-        entry = self._install(name, result, learner=learner)
-        entry.built_at_samples = learner.samples_seen
-        return entry
+        with timer(self._h_register):
+            budget = learner.k if k is None else int(k)
+            result = build_synopsis(
+                learner.empirical(), family, budget, **options
+            )
+            entry = self._install(name, result, learner=learner)
+            entry.built_at_samples = learner.samples_seen
+            return entry
 
     def _install(
         self,
@@ -272,6 +333,7 @@ class SynopsisStore:
                 plan=plan,
             )
             self._entries[name] = entry
+            self._c_version_bumps.inc()
             return entry
 
     # ------------------------------------------------------------------ #
@@ -299,35 +361,42 @@ class SynopsisStore:
         under it, so a concurrent :meth:`snapshot` sees either the old
         state or the new state, never a half-bumped entry.
         """
-        entry = self[name]
-        entry.hydrate()
-        if entry.learner is None:
-            raise ValueError(f"entry {name!r} is not backed by a stream")
-        plan = entry.plan
-        result = None
-        if plan is not None and entry.learner.stale_since(entry.built_at_samples):
-            try:
-                plan = replan(plan, entry.learner.empirical())
-                result = plan.result
-            except BudgetInfeasibleError:
-                # The stream drifted somewhere the budget can't follow.
-                # Raising here would poison extend() — the samples are
-                # already absorbed — so keep serving with the incumbent
-                # spec (and its decision record) instead of wedging the
-                # entry; the next watermark crossing re-plans again.
-                plan = entry.plan
-        if result is None:
-            result = build_synopsis(
-                entry.learner.empirical(), entry.family, entry.k, **entry.options
-            )
-        if plan is not None:
-            plan.result = None  # entry.result owns the synopsis (see _install)
-        with self._lock:
-            entry.result = result
-            entry.plan = plan
-            entry.version = self._last_versions[name] = entry.version + 1
-            entry.built_at_samples = entry.learner.samples_seen
-        return entry
+        with timer(self._h_refresh):
+            entry = self[name]
+            entry.hydrate()
+            if entry.learner is None:
+                raise ValueError(f"entry {name!r} is not backed by a stream")
+            plan = entry.plan
+            result = None
+            if plan is not None and entry.learner.stale_since(
+                entry.built_at_samples
+            ):
+                try:
+                    plan = replan(plan, entry.learner.empirical())
+                    result = plan.result
+                except BudgetInfeasibleError:
+                    # The stream drifted somewhere the budget can't follow.
+                    # Raising here would poison extend() — the samples are
+                    # already absorbed — so keep serving with the incumbent
+                    # spec (and its decision record) instead of wedging the
+                    # entry; the next watermark crossing re-plans again.
+                    plan = entry.plan
+            if result is None:
+                result = build_synopsis(
+                    entry.learner.empirical(),
+                    entry.family,
+                    entry.k,
+                    **entry.options,
+                )
+            if plan is not None:
+                plan.result = None  # entry.result owns the synopsis (_install)
+            with self._lock:
+                entry.result = result
+                entry.plan = plan
+                entry.version = self._last_versions[name] = entry.version + 1
+                entry.built_at_samples = entry.learner.samples_seen
+                self._c_version_bumps.inc()
+            return entry
 
     def extend(self, name: str, samples: np.ndarray) -> StoreEntry:
         """Absorb a sample batch and refresh lazily.
@@ -393,6 +462,12 @@ class SynopsisStore:
     def remove(self, name: str) -> None:
         with self._lock:
             del self._entries[name]
+            listeners = list(self._removal_listeners)
+        # Notify outside the store lock: a listener's forget() takes its
+        # own lock, and holding both here invites lock-order inversion
+        # against query paths that hold the engine lock while snapshotting.
+        for listener in listeners:
+            listener.forget(name)
 
     def snapshot(self, name: str) -> Tuple[int, Any]:
         """A consistent ``(version, synopsis)`` pair for entry ``name``.
@@ -447,6 +522,20 @@ class SynopsisStore:
         Keeps the never-repeat version invariant: the recorded last version
         for the name is at least the entry's own version.
         """
+        if entry.hydrator is not None:
+            # Time first-query hydration.  The wrapper reads the store's
+            # current histogram at call time (not capture time), so a
+            # later bind_registry() — the router re-homing this store
+            # under a shard label — is still observed.
+            inner = entry.hydrator
+
+            def timed_hydrator(
+                target: StoreEntry, _inner=inner, _store=self
+            ) -> None:
+                with timer(_store._h_hydrate):
+                    _inner(target)
+
+            entry.hydrator = timed_hydrator
         with self._lock:
             self._entries[entry.name] = entry
             floor = entry.version if last_version is None else int(last_version)
