@@ -25,27 +25,49 @@ Two independent effects add up:
 front end must beat the single-engine baseline by >= 2x on the same
 workload.  Run the file directly (or via pytest) for the full scaling
 table at 1 / 2 / 4 shards.
+
+The **multi-process leg** escapes the GIL entirely: the same 4-shard
+store is persisted once (schema-4 mmap layout) and served by
+:class:`repro.serve.workers.ProcessShardRouter` — N worker processes,
+each memory-mapping the shared segment files and answering its shards'
+sub-batches over the pickle-free wire.  Its gate
+(``test_process_speedup_at_4_workers``, >= 3x over the single-process
+thread-pool front end on the same on-disk store) needs real cores and is
+skipped below 4 CPUs; the 2-worker functional leg always runs, so CI
+exercises the full spawn/dispatch/merge path regardless.  Every run
+refreshes ``BENCH_shard.json`` at the repo root with both tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.serve.engine import QueryEngine
 from repro.serve.frontend import AsyncServingFrontend, QueryRequest
+from repro.serve.persistence import load_sharded, save_sharded
 from repro.serve.router import ShardRouter
 from repro.serve.store import SynopsisStore
+from repro.serve.workers import ProcessShardRouter
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_shard.json"
 
 NUM_NAMES = 16
 UNIVERSE = 16_384
 NUM_REQUESTS = 2_048
 BATCH_PER_REQUEST = 32
 SHARD_COUNTS = (1, 2, 4)
+WORKER_COUNTS = (2, 4)
 REPEATS = 5
+PROCESS_REPEATS = 3
+PROCESS_GATE = 3.0
 
 
 def _signals():
@@ -150,12 +172,92 @@ def run_comparison(workload, verbose=True):
     return rows
 
 
+def run_process_comparison(workload, verbose=True):
+    """Thread-pool front end vs N worker processes over one on-disk store."""
+    _, routers, requests = workload
+    total_queries = NUM_REQUESTS * BATCH_PER_REQUEST
+    rows = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "sharded"
+        save_sharded(routers[max(SHARD_COUNTS)], path)
+        loaded = load_sharded(path)
+        loaded.warm()
+        with AsyncServingFrontend(loaded) as frontend:
+            expected = [r.value for r in frontend.serve(requests)]
+            baseline = _time_best(lambda: frontend.serve(requests))
+        rows["threads"] = {
+            "mode": f"thread pool, {max(SHARD_COUNTS)} shards",
+            "elapsed_ms": baseline * 1e3,
+            "queries_per_s": total_queries / baseline,
+            "speedup_x": 1.0,
+        }
+        if verbose:
+            print(
+                f"\nprocess leg over the persisted {max(SHARD_COUNTS)}-shard "
+                f"store, cpus={os.cpu_count()}"
+            )
+            print(
+                f"thread-pool front end:  {baseline * 1e3:8.2f}ms  "
+                f"{total_queries / baseline:12,.0f} q/s"
+            )
+        for workers in WORKER_COUNTS:
+            with ProcessShardRouter(path, workers=workers) as prouter:
+                _verify(prouter.serve(requests), expected)  # same answers
+                elapsed = _time_best(
+                    lambda: prouter.serve(requests), repeats=PROCESS_REPEATS
+                )
+            rows[f"process-{workers}"] = {
+                "mode": f"{workers} worker process(es)",
+                "elapsed_ms": elapsed * 1e3,
+                "queries_per_s": total_queries / elapsed,
+                "speedup_x": baseline / elapsed,
+            }
+            if verbose:
+                print(
+                    f"{workers} worker process(es): {elapsed * 1e3:8.2f}ms  "
+                    f"{total_queries / elapsed:12,.0f} q/s  "
+                    f"speedup {baseline / elapsed:5.2f}x"
+                )
+    return rows
+
+
+def _record(shard_rows, process_rows):
+    """Refresh the perf-trajectory file with this run's measurements."""
+    payload = {
+        "benchmark": "bench_shard",
+        "workload": (
+            f"{NUM_REQUESTS} requests x {BATCH_PER_REQUEST} range sums "
+            f"over {NUM_NAMES} names (n={UNIVERSE})"
+        ),
+        "cpus": os.cpu_count(),
+        "gates": {
+            "in_process": "4 shards >= 2x single-engine baseline",
+            "multi_process": (
+                f"4 workers >= {PROCESS_GATE}x thread-pool front end "
+                f"(>= 4 cores)"
+            ),
+        },
+        "in_process_speedup_x": {
+            str(shards): speedup for shards, speedup in shard_rows.items()
+        },
+        "multi_process": process_rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
 @pytest.fixture(scope="module")
 def comparison_rows(workload):
     # One timing pass shared by both tests: re-running the full comparison
     # would double the CI bench-smoke job's measurement work and let the
     # two gates see different timings of the same workload.
     return run_comparison(workload)
+
+
+@pytest.fixture(scope="module")
+def process_rows(workload, comparison_rows):
+    rows = run_process_comparison(workload)
+    _record(comparison_rows, rows)
+    return rows
 
 
 def test_sharded_speedup_at_4_shards(comparison_rows):
@@ -177,5 +279,35 @@ def test_scaling_is_monotone_in_coverage(comparison_rows):
         assert speedup >= 1.0, f"{shards} shard(s) slower than baseline"
 
 
+def test_process_leg_runs_and_answers_match(process_rows):
+    """Functional floor for every box: the worker processes must serve the
+    whole workload (answer parity is asserted inside the timing pass) and
+    post a finite throughput for each worker count."""
+    for workers in WORKER_COUNTS:
+        row = process_rows[f"process-{workers}"]
+        assert row["queries_per_s"] > 0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="process-shard scaling gate needs >= 4 cores",
+)
+def test_process_speedup_at_4_workers(process_rows):
+    """Acceptance gate: >= 3x batched throughput at 4 process shards over
+    the single-process thread-pool front end on the same on-disk store."""
+    speedup = process_rows["process-4"]["speedup_x"]
+    assert speedup >= PROCESS_GATE, (
+        f"4-worker speedup only {speedup:.2f}x"
+    )
+
+
+def test_results_file_written(process_rows):
+    payload = json.loads(RESULTS_PATH.read_text())
+    assert payload["benchmark"] == "bench_shard"
+    assert "process-4" in payload["multi_process"]
+
+
 if __name__ == "__main__":
-    run_comparison(_build_workload())
+    workload = _build_workload()
+    shard_rows = run_comparison(workload)
+    _record(shard_rows, run_process_comparison(workload))

@@ -19,20 +19,26 @@ Serving commands:
   pairs the synopsis against a lossless reference)
 * ``serve``       — register synopses (or load a persisted store with
   ``--store-dir``) and answer queries from stdin; ``--shards N`` serves
-  from N concurrent store/engine shards; ``plan <name>`` prints an
-  auto-planned entry's decision record; ``--window W`` adds a
-  sliding-window streaming entry answering the ``heavy`` command
-  (approximate heavy hitters over the live window)
+  from N concurrent store/engine shards; ``--workers N`` serves from N
+  shard worker *processes* over memory-mapped payloads (escapes the
+  GIL); ``plan <name>`` prints an auto-planned entry's decision record;
+  ``--window W`` adds a sliding-window streaming entry answering the
+  ``heavy`` command (approximate heavy hitters over the live window)
 * ``save``        — build synopses and persist the store to a directory
-  (``--shards N`` writes the sharded layout; ``--families auto`` plans)
+  (``--shards N`` writes the sharded layout; ``--families auto`` plans;
+  ``--layout npz`` writes the legacy compressed layout instead of the
+  default memory-mappable segments)
 * ``load``        — load + fully validate a persisted store (plain or
   sharded, detected automatically)
 * ``inspect``     — print a persisted store's manifest(s) — for sharded
   stores the parent shard map plus every shard (no payload reads;
-  ``--sort error`` ranks entries NaN-safely)
+  ``--sort error`` ranks entries NaN-safely; ``--name`` opens only the
+  segments holding the named entries)
 * ``metrics``     — load a persisted store, probe it with batched
   queries, and print the metrics exposition (``--format text`` for
-  Prometheus text format, ``json`` for the percentile readout)
+  Prometheus text format, ``json`` for the percentile readout;
+  ``--workers N`` probes worker processes and merges their registries;
+  ``--no-probe`` reports registry state without touching payloads)
 
 Run ``python -m repro <command> --help`` for per-command options.
 """

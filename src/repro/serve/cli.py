@@ -42,16 +42,26 @@ only when no cheap candidate satisfies it (``plan <name>`` prints the
 full decision record).
 
 The persistence commands operate on store directories written by
-``SynopsisStore.save`` / ``ShardRouter.save`` (JSON manifests +
-per-entry npz payloads):
+``SynopsisStore.save`` / ``ShardRouter.save`` (segmented mmap layout by
+default; ``--layout npz`` writes the legacy per-entry npz layout):
 
 * ``save`` builds one synopsis per family over a dataset and persists the
-  store to ``--store-dir`` (``--shards N`` writes the sharded layout).
+  store to ``--store-dir`` (``--shards N`` writes the sharded layout;
+  ``--layout``/``--segment-size`` pick the on-disk payload format).
 * ``load`` fully hydrates a persisted store — plain or sharded — warms
   the engines over it, and prints each entry's metadata: a validation
   pass.  ``--shards N`` additionally asserts the shard count.
 * ``inspect`` prints the manifest(s) — for a sharded store, the parent
-  shard map plus every shard's entries — without reading any payload.
+  shard map plus every shard's entries — without reading any payload
+  (``--name`` restricts to one entry, touching only its segment).
+
+``--workers N`` (on ``serve`` and ``metrics``) serves the persisted
+store from N worker *processes* (see
+:class:`~repro.serve.workers.ProcessShardRouter`): each worker owns a
+slice of the shards, memory-maps the schema-4 payloads (sharing one OS
+page cache), and the parent merges every worker's metrics into one
+exposition.  Store-mutating REPL commands (``save``) and in-process
+cache introspection (``cache``) are not available in this mode.
 
 Dataset-building commands use the Table 1 datasets (``hist``, ``poly``,
 ``dow``) or a synthetic step signal (``steps``, size ``--n``).
@@ -79,14 +89,18 @@ from ..sampling.windowed import WindowedStreamLearner
 from .builders import SYNOPSIS_FAMILIES
 from .engine import QueryEngine
 from .persistence import (
+    DEFAULT_SEGMENT_SIZE,
+    MMAP_SCHEMA_VERSION,
     StoreCorruptionError,
     detect_store_format,
+    iter_manifest_entries,
     read_manifest,
     read_sharded_manifest,
 )
 from .planner import BuildBudget
 from .router import ShardRouter
 from .store import SynopsisStore
+from .workers import ProcessShardRouter
 
 __all__ = [
     "inspect_main",
@@ -288,13 +302,63 @@ def _load_router_or_exit(
     return router
 
 
-def _save_router(router: ShardRouter, target: str) -> None:
+def _save_router(
+    router: ShardRouter,
+    target: str,
+    layout: str = "mmap",
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+) -> None:
     """Persist a router: a one-shard router round-trips as a plain store,
     keeping single-shard deployments compatible with the unsharded layout."""
     if router.num_shards == 1:
-        router.shards[0].store.save(target)
+        router.shards[0].store.save(target, layout=layout, segment_size=segment_size)
     else:
-        router.save(target)
+        router.save(target, layout=layout, segment_size=segment_size)
+
+
+def _layout_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--layout",
+        default="mmap",
+        choices=["mmap", "npz"],
+        help="payload layout: mmap (schema 4, raw little-endian segments "
+        "that workers memory-map; the default) or npz (legacy schema-3 "
+        "per-entry npz files, loadable by older readers)",
+    )
+    parser.add_argument(
+        "--segment-size",
+        type=int,
+        default=DEFAULT_SEGMENT_SIZE,
+        metavar="E",
+        help="entries per segment in the mmap layout",
+    )
+
+
+def _workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve the persisted store from N worker processes "
+        "(requires --store-dir; clamped to the shard count); workers "
+        "memory-map the payloads and share one page cache",
+    )
+
+
+def _load_process_router_or_exit(
+    store_dir: str, workers: int, cache_size: Optional[int] = None
+) -> ProcessShardRouter:
+    if workers < 1:
+        raise SystemExit(f"--workers must be positive, got {workers}")
+    try:
+        return ProcessShardRouter(
+            store_dir,
+            workers=workers,
+            **({} if cache_size is None else {"cache_size": cache_size}),
+        )
+    except (FileNotFoundError, StoreCorruptionError) as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _summary_line(meta: dict) -> str:
@@ -470,15 +534,22 @@ def _heavy_hitters_query(args: argparse.Namespace, values: np.ndarray) -> int:
     return 0
 
 
-def _merged_registry(router: ShardRouter) -> MetricsRegistry:
+def _merged_registry(router) -> MetricsRegistry:
     """The full metrics view: router registry + process-default registry.
 
     The router's registry holds the serving-side series (per-shard
     engine/store/front-end); build and planner metrics live in the
     process-wide default registry.  Merging into a fresh registry — the
     same ``merge()`` discipline the latency histograms support — yields
-    one exposition document without mutating either source.
+    one exposition document without mutating either source.  A
+    :class:`~repro.serve.workers.ProcessShardRouter` collects its
+    workers' registries over the wire instead (already merged, each
+    series stamped with its ``worker=<i>`` label).
     """
+    if isinstance(router, ProcessShardRouter):
+        merged = router.collect_metrics()
+        merged.merge_from(get_default_registry())
+        return merged
     merged = MetricsRegistry()
     merged.merge_from(router.registry)
     merged.merge_from(get_default_registry())
@@ -530,6 +601,7 @@ def serve_main(
     _budget_arguments(parser)
     _shards_argument(parser)
     _window_argument(parser)
+    _workers_argument(parser)
     parser.add_argument(
         "--store-dir",
         default=None,
@@ -541,6 +613,12 @@ def serve_main(
     src = sys.stdin if stdin is None else stdin
     out = sys.stdout if stdout is None else stdout
 
+    if args.workers is not None and args.store_dir is None:
+        # Worker processes serve an immutable persisted store; a fresh
+        # in-memory build has nothing on disk for them to map.
+        raise SystemExit(
+            "error: --workers requires --store-dir (save the store first)"
+        )
     if args.store_dir is not None:
         if args.window is not None:
             # A loaded store serves its persisted entries; silently
@@ -550,21 +628,37 @@ def serve_main(
                 "error: --window cannot be combined with --store-dir "
                 "(save the store with --window instead)"
             )
-        router = _load_router_or_exit(
-            args.store_dir, lazy=True, expect_shards=args.shards
-        )
-        source = f"store {args.store_dir!r}"
+        if args.workers is not None:
+            router = _load_process_router_or_exit(args.store_dir, args.workers)
+            if args.shards is not None and router.num_shards != args.shards:
+                raise SystemExit(
+                    f"error: {args.store_dir} holds {router.num_shards} "
+                    f"shard(s), --shards asked for {args.shards}"
+                )
+            source = f"store {args.store_dir!r}"
+        else:
+            router = _load_router_or_exit(
+                args.store_dir, lazy=True, expect_shards=args.shards
+            )
+            source = f"store {args.store_dir!r}"
     else:
         router = _build_family_router(args)
         source = f"{args.dataset!r}"
 
+    workers_note = (
+        f" via {router.num_workers} worker process(es)"
+        if isinstance(router, ProcessShardRouter)
+        else ""
+    )
     print(
         f"serving {len(router)} synopses of {source} on "
-        f"{router.num_shards} shard(s) ({', '.join(router.names())}); "
+        f"{router.num_shards} shard(s){workers_note} "
+        f"({', '.join(router.names())}); "
         f"commands: range mean point cdf quantile topk inner heavy summary "
         f"inspect plan shards cache metrics save quit",
         file=out,
     )
+    processes = isinstance(router, ProcessShardRouter)
     for line in src:
         words = line.split()
         if not words:
@@ -577,28 +671,48 @@ def serve_main(
                 for meta in router.summary():
                     print(_summary_line(meta), file=out)
             elif cmd == "save":
+                if processes:
+                    raise ValueError(
+                        "save is not supported with --workers (the store "
+                        "already lives on disk; copy the directory instead)"
+                    )
                 _save_router(router, words[1])
                 print(f"saved {len(router)} entries to {words[1]}", file=out)
             elif cmd == "cache":
+                if processes:
+                    raise ValueError(
+                        "cache counters live in the worker processes; use "
+                        "the metrics command for the merged view"
+                    )
                 _print_cache_info(out, router.cache_info())
             elif cmd == "metrics":
                 _print_metrics(out, router, words[1] if len(words) > 1 else "text")
             elif cmd == "inspect":
                 meta = router.describe(words[1])
                 print(_summary_line(meta), file=out)
-                stats = router.entry_cache_info(words[1])
-                print(
-                    f"  cache: hits={stats['hits']} misses={stats['misses']} "
-                    f"evictions={stats['evictions']}",
-                    file=out,
-                )
-            elif cmd == "shards":
-                for shard in router.shards:
+                if not processes:
+                    stats = router.entry_cache_info(words[1])
                     print(
-                        f"shard {shard.index}: {len(shard.store)} entries "
-                        f"({', '.join(shard.store.names()) or '-'})",
+                        f"  cache: hits={stats['hits']} misses={stats['misses']} "
+                        f"evictions={stats['evictions']}",
                         file=out,
                     )
+            elif cmd == "shards":
+                if processes:
+                    for row in router.describe_shards():
+                        print(
+                            f"shard {row['shard']} (worker {row['worker']}): "
+                            f"{row['entries']} entries "
+                            f"({', '.join(row['names']) or '-'})",
+                            file=out,
+                        )
+                else:
+                    for shard in router.shards:
+                        print(
+                            f"shard {shard.index}: {len(shard.store)} entries "
+                            f"({', '.join(shard.store.names()) or '-'})",
+                            file=out,
+                        )
             elif cmd == "plan":
                 plan = router.plan_of(words[1])
                 if plan is None:
@@ -648,6 +762,8 @@ def serve_main(
             StoreCorruptionError,
         ) as exc:
             print(f"error: {exc}", file=out)
+    if processes:
+        router.close()
     return 0
 
 
@@ -675,28 +791,46 @@ def metrics_main(
         help="batched probe queries per entry (exercises the serving hot "
         "path so the exposition shows real latency series)",
     )
+    parser.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="report registry state without querying any entry: no "
+        "payload is hydrated, so a cold store renders instantly",
+    )
     _shards_argument(parser)
+    _workers_argument(parser)
     args = parser.parse_args(argv)
     out = sys.stdout if stdout is None else stdout
     if args.queries < 1:
         raise SystemExit(f"--queries must be positive, got {args.queries}")
 
-    router = _load_router_or_exit(
-        args.store_dir, lazy=True, expect_shards=args.shards
-    )
-    rng = np.random.default_rng(0)
-    for name in router.names():
-        try:
-            n = int(router[name].describe()["n"])
-            a = rng.integers(0, n, args.queries)
-            b = rng.integers(0, n, args.queries)
-            router.range_sum(name, np.minimum(a, b), np.maximum(a, b))
-            router.point_mass(name, rng.integers(0, n, args.queries))
-        except (KeyError, ValueError, TypeError, StoreCorruptionError) as exc:
-            # stderr, not the exposition stream: a failed probe must not
-            # corrupt the JSON document or the text-format payload.
-            print(f"probe of {name!r} failed: {exc}", file=sys.stderr)
+    if args.workers is not None:
+        router = _load_process_router_or_exit(args.store_dir, args.workers)
+        if args.shards is not None and router.num_shards != args.shards:
+            raise SystemExit(
+                f"error: {args.store_dir} holds {router.num_shards} "
+                f"shard(s), --shards asked for {args.shards}"
+            )
+    else:
+        router = _load_router_or_exit(
+            args.store_dir, lazy=True, expect_shards=args.shards
+        )
+    if not args.no_probe:
+        rng = np.random.default_rng(0)
+        for name in router.names():
+            try:
+                n = int(router.describe(name)["n"])
+                a = rng.integers(0, n, args.queries)
+                b = rng.integers(0, n, args.queries)
+                router.range_sum(name, np.minimum(a, b), np.maximum(a, b))
+                router.point_mass(name, rng.integers(0, n, args.queries))
+            except (KeyError, ValueError, TypeError, StoreCorruptionError) as exc:
+                # stderr, not the exposition stream: a failed probe must not
+                # corrupt the JSON document or the text-format payload.
+                print(f"probe of {name!r} failed: {exc}", file=sys.stderr)
     _print_metrics(out, router, args.format)
+    if isinstance(router, ProcessShardRouter):
+        router.close()
     return 0
 
 
@@ -710,12 +844,15 @@ def save_main(argv: Optional[Sequence[str]] = None) -> int:
     _budget_arguments(parser)
     _shards_argument(parser)
     _window_argument(parser)
+    _layout_arguments(parser)
     parser.add_argument("--store-dir", required=True, help="output store directory")
     args = parser.parse_args(argv)
 
     router = _build_family_router(args)
     try:
-        _save_router(router, args.store_dir)
+        _save_router(
+            router, args.store_dir, layout=args.layout, segment_size=args.segment_size
+        )
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: {exc}")
     for meta in router.summary():
@@ -742,7 +879,7 @@ def load_main(argv: Optional[Sequence[str]] = None) -> int:
             parent = read_sharded_manifest(args.store_dir)
             entry_count = len(parent["shard_map"].get("assignments", {}))
         else:
-            entry_count = len(read_manifest(args.store_dir)["entries"])
+            entry_count = _manifest_entry_count(read_manifest(args.store_dir))
     except (FileNotFoundError, StoreCorruptionError) as exc:
         raise SystemExit(f"error: {exc}")
     router = _load_router_or_exit(
@@ -787,15 +924,53 @@ def _manifest_entry_error(record) -> float:
         )
 
 
-def _sorted_manifest_entries(manifest: dict, sort_by: str) -> list:
-    """Manifest entries ordered for ``inspect`` — NaN-safe by design.
+def _manifest_entry_count(manifest: dict) -> int:
+    """Total entries recorded by a manifest, any schema.
+
+    Schema <= 3 manifests list entries inline; schema 4 index manifests
+    record per-segment counts instead, so the sum is the store size
+    without opening any segment manifest.
+    """
+    if "entries" in manifest:
+        return len(manifest["entries"])
+    return sum(int(seg.get("count", 0)) for seg in manifest.get("segments", []))
+
+
+def _manifest_header(manifest: dict) -> str:
+    """The one-line store header ``inspect``/``load`` print."""
+    header = (
+        f"{manifest['format']} schema={manifest['schema']} "
+        f"entries={_manifest_entry_count(manifest)}"
+    )
+    if "segments" in manifest:
+        header += f" segments={len(manifest['segments'])}"
+    return header
+
+
+def _manifest_payload_label(record: dict) -> object:
+    """Printable payload location for one entry record.
+
+    npz records carry the payload file name as a string; mmap records
+    carry a spec dict (skeleton + array offsets) whose data file lives
+    in the sibling ``segment`` key stamped by ``iter_manifest_entries``.
+    """
+    payload = record.get("payload")
+    if isinstance(payload, dict):
+        arrays = payload.get("arrays", {})
+        count = len(arrays) if isinstance(arrays, dict) else 0
+        return f"{record.get('segment')}:{count} arrays"
+    return payload
+
+
+def _sorted_manifest_entries(entries: list, sort_by: str) -> list:
+    """Entry records ordered for ``inspect`` — NaN-safe by design.
 
     Sorting on the raw error float would scatter unmeasured (NaN) entries
     wherever the input order left them (every NaN comparison is false);
     :func:`~repro.core.errorutil.error_sort_key` pins them in an explicit
     bucket after all measured errors instead.
     """
-    entries = list(manifest["entries"])
+    entries = list(entries)
     if sort_by == "error":
         entries.sort(key=lambda r: error_sort_key(_manifest_entry_error(r)))
     elif sort_by == "stored":
@@ -811,9 +986,16 @@ def _sorted_manifest_entries(manifest: dict, sort_by: str) -> list:
 
 
 def _print_manifest_entries(
-    store_dir: str, manifest: dict, sort_by: str = "manifest"
+    store_dir: str,
+    manifest: dict,
+    sort_by: str = "manifest",
+    names: Optional[Sequence[str]] = None,
 ) -> None:
-    for record in _sorted_manifest_entries(manifest, sort_by):
+    try:
+        records = iter_manifest_entries(store_dir, manifest=manifest, names=names)
+    except (StoreCorruptionError, FileNotFoundError) as exc:
+        raise SystemExit(f"error: {exc}")
+    for record in _sorted_manifest_entries(records, sort_by):
         try:
             result = record.get("result", {})
             line = (
@@ -821,7 +1003,8 @@ def _print_manifest_entries(
                 f"k={result.get('k')} n={result.get('n')} "
                 f"pieces={result.get('pieces')} stored={result.get('stored_numbers')} "
                 f"error={format_error(_manifest_entry_error(record))} "
-                f"version={record.get('version')} payload={record.get('payload')}"
+                f"version={record.get('version')} "
+                f"payload={_manifest_payload_label(record)}"
             )
             if record.get("plan") is not None:
                 plan = record["plan"]
@@ -855,6 +1038,13 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
         "(unmeasured errors sort last, never silently first), or by "
         "stored size",
     )
+    parser.add_argument(
+        "--name",
+        action="append",
+        metavar="NAME",
+        help="only show this entry (repeatable); on a segmented store "
+        "only the segments holding the named entries are opened",
+    )
     _shards_argument(parser)
     args = parser.parse_args(argv)
 
@@ -873,15 +1063,22 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
                 f"shards={parent['num_shards']} entries={len(assignments)}"
             )
             for name, shard in assignments.items():
+                if args.name is not None and name not in args.name:
+                    continue
                 print(f"map {name} -> shard {shard}")
             for shard_dir in parent["shard_dirs"]:
                 shard_path = Path(args.store_dir) / shard_dir
                 manifest = read_manifest(shard_path)
-                print(
+                header = (
                     f"{shard_dir}: schema={manifest['schema']} "
-                    f"entries={len(manifest['entries'])}"
+                    f"entries={_manifest_entry_count(manifest)}"
                 )
-                _print_manifest_entries(str(shard_path), manifest, args.sort)
+                if "segments" in manifest:
+                    header += f" segments={len(manifest['segments'])}"
+                print(header)
+                _print_manifest_entries(
+                    str(shard_path), manifest, args.sort, names=args.name
+                )
             return 0
         if args.shards is not None and args.shards != 1:
             raise SystemExit(
@@ -891,9 +1088,6 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
         manifest = read_manifest(args.store_dir)
     except (FileNotFoundError, StoreCorruptionError) as exc:
         raise SystemExit(f"error: {exc}")
-    print(
-        f"{manifest['format']} schema={manifest['schema']} "
-        f"entries={len(manifest['entries'])}"
-    )
-    _print_manifest_entries(args.store_dir, manifest, args.sort)
+    print(_manifest_header(manifest))
+    _print_manifest_entries(args.store_dir, manifest, args.sort, names=args.name)
     return 0

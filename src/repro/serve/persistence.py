@@ -1,13 +1,40 @@
 """Disk persistence for :class:`~repro.serve.store.SynopsisStore` and
 sharded stores (:class:`~repro.serve.router.ShardRouter`).
 
-A persisted store is a directory::
+A persisted store is a directory in one of two layouts.  The default
+**mmap layout** (schema 4) groups entries into segments of raw
+little-endian array data plus a per-segment manifest, indexed by a small
+top-level manifest::
+
+    store_dir/
+      manifest.json       # format tag, schema 4, segment index
+      segment-0000.json   # entry records for the segment (skeleton + offsets)
+      segment-0000.bin    # raw little-endian arrays, memory-mappable
+      segment-0001.json
+      segment-0001.bin
+      ...
+
+Payload arrays are ``np.memmap``-ed straight off disk, so a cold entry
+hydrates in O(1) — no decompression — and N worker processes mapping
+the same store share one OS page cache.  The segment index means
+loading or inspecting a subset of a huge store touches only the
+segments holding the requested names.
+
+The legacy **npz layout** (schema <= 3) is one npz payload per entry::
 
     store_dir/
       manifest.json     # format tag, schema version, per-entry metadata
       entry-0000.npz    # one payload per entry: synopsis (+ learner) arrays
       entry-0001.npz
       ...
+
+It remains fully supported as a compat reader, and ``save_store(...,
+layout="npz")`` still writes it (stamped at schema 3, so older readers
+load it unchanged).  Both layouts split the universal type-tagged
+``to_dict`` payloads of :mod:`repro.serve.builders` into the same JSON
+skeleton plus exact float64/int64 arrays (see
+:mod:`repro.serve.mmap_store`), so reloaded synopses answer queries
+bitwise-identically to the originals regardless of layout.
 
 A persisted *sharded* store is a parent directory whose manifest names
 the shard map and one ordinary store directory per shard::
@@ -24,20 +51,16 @@ the parent manifest's explicit name-to-shard assignments make placement a
 persisted fact rather than a hash recomputation.
 
 The manifest carries everything ``summary()`` / ``describe()`` report —
-family, k, options, error, version, streaming counters, and (schema 2)
-the serialized :class:`~repro.serve.planner.BuildPlan` decision record of
-auto-planned entries — so a store loads
-*lazily*: :func:`load_store` materializes only the manifest, and each
-entry's npz payload hydrates on its first query (or eagerly with
-``lazy=False``).  Payloads are the universal type-tagged ``to_dict``
-payloads of :mod:`repro.serve.builders`, split into a JSON skeleton plus
-exact float64/int64 arrays, so reloaded synopses answer queries
-bitwise-identically to the originals.
+family, k, options, error, version, streaming counters, and the
+serialized :class:`~repro.serve.planner.BuildPlan` decision record of
+auto-planned entries — so a store loads *lazily*: :func:`load_store`
+materializes only the manifest(s), and each entry's payload hydrates on
+its first query (or eagerly with ``lazy=False``).
 
 Writes are crash-safe: everything lands in a temporary sibling directory
 first and the final directory is swapped in by rename, so a failed or
 interrupted save leaves the previous store intact.  :func:`load_store`
-validates the manifest and the presence/integrity of every payload file up
+validates the manifest and the presence/integrity of every payload up
 front and raises :exc:`StoreCorruptionError` — never a half-hydrated store.
 """
 
@@ -51,7 +74,7 @@ import uuid
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -63,18 +86,30 @@ from .builders import (
     synopsis_kind,
     synopsis_to_dict,
 )
+from .mmap_store import (
+    SegmentFormatError,
+    SegmentReader,
+    SegmentWriter,
+    flatten_payload as _flatten_payload,
+    read_segment_header,
+    restore_payload as _restore_payload,
+)
 from .planner import BuildPlan
 from .store import StoreEntry, SynopsisStore
 
 __all__ = [
+    "DEFAULT_SEGMENT_SIZE",
     "LEARNER_KINDS",
     "MANIFEST_NAME",
+    "MMAP_SCHEMA_VERSION",
+    "NPZ_SCHEMA_VERSION",
     "SHARDED_FORMAT",
     "SHARDED_SCHEMA_VERSION",
     "STORE_FORMAT",
     "STORE_SCHEMA_VERSION",
     "StoreCorruptionError",
     "detect_store_format",
+    "iter_manifest_entries",
     "learner_from_state",
     "load_sharded",
     "load_store",
@@ -91,12 +126,23 @@ STORE_FORMAT = "repro-synopsis-store"
 # Schema 3 (windowed streaming): a streaming entry's payload may carry a
 # ``windowed_stream_learner`` state (epoch ring + per-epoch Misra–Gries
 # sketches) instead of the growing-stream learner's, and its manifest
-# record then adds "windowed"/"window_total".  Schema 1 and 2 stores (no
-# plan fields / no windowed learners) still load; loaders older than the
-# bump refuse newer stores cleanly.
-STORE_SCHEMA_VERSION = 3
+# record then adds "windowed"/"window_total".
+# Schema 4 (mmap layout): the top-level manifest holds a *segment index*
+# instead of an entry list; entry records live in per-segment JSON
+# manifests and reference raw little-endian arrays by offset into the
+# segment's memory-mappable ``.bin`` file.  ``layout="npz"`` still
+# writes the schema-3 per-entry-npz layout, and schema 1-3 stores load
+# unchanged; loaders older than the bump refuse newer stores cleanly.
+STORE_SCHEMA_VERSION = 4
+MMAP_SCHEMA_VERSION = 4
+NPZ_SCHEMA_VERSION = 3
 SHARDED_FORMAT = "repro-synopsis-store-sharded"
 SHARDED_SCHEMA_VERSION = 1
+
+#: Entries per segment in the mmap layout.  Small enough that selective
+#: loads of a million-entry store touch a sliver of it, large enough
+#: that the per-segment file-count overhead stays negligible.
+DEFAULT_SEGMENT_SIZE = 256
 
 # Streaming-learner payload dispatch: the "kind" tag of a persisted
 # learner state names its class, exactly like SYNOPSIS_CODECS for
@@ -124,61 +170,8 @@ class StoreCorruptionError(RuntimeError):
 
 
 # --------------------------------------------------------------------- #
-# Payload <-> npz: JSON skeleton plus exact numeric arrays
+# npz payload files (legacy layout, schema <= 3)
 # --------------------------------------------------------------------- #
-
-
-def _is_numeric_list(obj: Any) -> bool:
-    return (
-        isinstance(obj, list)
-        and bool(obj)
-        and all(
-            isinstance(v, (int, float)) and not isinstance(v, bool) for v in obj
-        )
-    )
-
-
-def _flatten_payload(payload: Dict[str, Any]) -> Tuple[Any, Dict[str, np.ndarray]]:
-    """Split a ``to_dict`` payload into a JSON skeleton and numeric arrays.
-
-    Numeric lists (the ``O(k)``-sized parts) become float64/int64 npz
-    arrays referenced from the skeleton by key path; everything else stays
-    in the skeleton.  Generic over payload shape, so codecs registered
-    after this module shipped persist without changes here.
-    """
-    arrays: Dict[str, np.ndarray] = {}
-
-    def walk(obj: Any, path: str) -> Any:
-        if isinstance(obj, dict):
-            return {key: walk(val, f"{path}.{key}") for key, val in obj.items()}
-        if _is_numeric_list(obj):
-            arrays[path] = np.asarray(obj)
-            return {"__array__": path}
-        if isinstance(obj, list):
-            return [walk(val, f"{path}.{i}") for i, val in enumerate(obj)]
-        return obj
-
-    return walk(payload, "payload"), arrays
-
-
-def _restore_payload(skeleton: Any, arrays: Dict[str, np.ndarray]) -> Any:
-    """Inverse of :func:`_flatten_payload`.
-
-    Array references resolve to the ndarrays themselves (not lists): every
-    ``from_dict`` consumer runs its fields through ``np.asarray`` anyway,
-    so boxing into Python objects would only double the hydration cost.
-    """
-
-    def walk(obj: Any) -> Any:
-        if isinstance(obj, dict):
-            if set(obj) == {"__array__"}:
-                return arrays[obj["__array__"]]
-            return {key: walk(val) for key, val in obj.items()}
-        if isinstance(obj, list):
-            return [walk(val) for val in obj]
-        return obj
-
-    return walk(skeleton)
 
 
 def _write_payload(path: Path, payload: Dict[str, Any]) -> None:
@@ -218,13 +211,13 @@ def _entry_payload(entry: StoreEntry, store_uid: str) -> Dict[str, Any]:
     return payload
 
 
-def _manifest_entry(entry: StoreEntry, payload_name: str) -> Dict[str, Any]:
+def _manifest_entry(entry: StoreEntry, payload: Any) -> Dict[str, Any]:
     record = {
         "name": entry.name,
         "version": entry.version,
         "built_at_samples": entry.built_at_samples,
         "streaming": entry.is_streaming,
-        "payload": payload_name,
+        "payload": payload,
         "synopsis_kind": synopsis_kind(entry.synopsis),
         "result": entry.result.to_dict(include_synopsis=False),
     }
@@ -259,12 +252,33 @@ def _check_replace_target(path: Path) -> None:
             )
 
 
-def _write_store_contents(store: SynopsisStore, target: Path) -> None:
+def _check_layout(layout: str) -> None:
+    if layout not in ("mmap", "npz"):
+        raise ValueError(
+            f"unknown store layout {layout!r} (expected 'mmap' or 'npz')"
+        )
+
+
+def _write_store_contents(
+    store: SynopsisStore,
+    target: Path,
+    layout: str = "mmap",
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+) -> None:
     """Write one store's payloads + manifest into ``target`` (no atomicity).
 
     Callers own crash safety: ``target`` must be inside a temporary
     directory that is atomically published afterwards.
     """
+    _check_layout(layout)
+    if layout == "npz":
+        _write_store_contents_npz(store, target)
+    else:
+        _write_store_contents_mmap(store, target, segment_size)
+
+
+def _write_store_contents_npz(store: SynopsisStore, target: Path) -> None:
+    """The legacy per-entry-npz layout, stamped at schema 3."""
     store_uid = uuid.uuid4().hex
     entries = []
     for index, name in enumerate(store.names()):
@@ -275,9 +289,60 @@ def _write_store_contents(store: SynopsisStore, target: Path) -> None:
         entries.append(_manifest_entry(entry, payload_name))
     manifest = {
         "format": STORE_FORMAT,
-        "schema": STORE_SCHEMA_VERSION,
+        "schema": NPZ_SCHEMA_VERSION,
         "store_uid": store_uid,
         "entries": entries,
+        "last_versions": dict(store._last_versions),
+    }
+    with open(target / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+
+
+def _write_store_contents_mmap(
+    store: SynopsisStore, target: Path, segment_size: int
+) -> None:
+    """The schema-4 segmented mmap layout."""
+    segment_size = int(segment_size)
+    if segment_size < 1:
+        raise ValueError(f"segment_size must be >= 1, got {segment_size}")
+    store_uid = uuid.uuid4().hex
+    names = store.names()
+    segments = []
+    for seg_index, start in enumerate(range(0, len(names), segment_size)):
+        chunk = names[start : start + segment_size]
+        manifest_name = f"segment-{seg_index:04d}.json"
+        data_name = f"segment-{seg_index:04d}.bin"
+        records = []
+        with SegmentWriter(target / data_name, store_uid) as writer:
+            for name in chunk:
+                entry = store[name]
+                entry.hydrate()
+                spec = writer.add(_entry_payload(entry, store_uid))
+                records.append(_manifest_entry(entry, spec))
+            data_bytes = writer.bytes_written
+        segment_manifest = {
+            "format": STORE_FORMAT + "-segment",
+            "store_uid": store_uid,
+            "entries": records,
+        }
+        with open(target / manifest_name, "w", encoding="utf-8") as handle:
+            json.dump(segment_manifest, handle, indent=1)
+        segments.append(
+            {
+                "manifest": manifest_name,
+                "data": data_name,
+                "count": len(chunk),
+                "bytes": data_bytes,
+                "names": chunk,
+            }
+        )
+    manifest = {
+        "format": STORE_FORMAT,
+        "schema": MMAP_SCHEMA_VERSION,
+        "layout": "mmap",
+        "store_uid": store_uid,
+        "segment_size": segment_size,
+        "segments": segments,
         "last_versions": dict(store._last_versions),
     }
     with open(target / MANIFEST_NAME, "w", encoding="utf-8") as handle:
@@ -305,8 +370,18 @@ def _atomic_publish(tmp: Path, path: Path, token: str) -> None:
         os.rename(tmp, path)
 
 
-def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
+def save_store(
+    store: SynopsisStore,
+    path: Union[str, Path],
+    layout: str = "mmap",
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+) -> None:
     """Persist ``store`` to directory ``path``, atomically replacing it.
+
+    ``layout="mmap"`` (the default) writes the schema-4 segmented layout
+    whose payloads memory-map; ``layout="npz"`` writes the legacy
+    per-entry-npz layout at schema 3 for consumption by older readers.
+    ``segment_size`` bounds entries per segment in the mmap layout.
 
     All payloads and the manifest are written to a temporary sibling
     directory first; only after every byte is on disk is the target swapped
@@ -323,26 +398,33 @@ def save_store(store: SynopsisStore, path: Union[str, Path]) -> None:
     loaded-but-unqueried store is a faithful copy.
     """
     path = Path(path)
+    _check_layout(layout)
     _check_replace_target(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     token = uuid.uuid4().hex[:8]
     tmp = path.parent / f".{path.name}.tmp-{token}"
     tmp.mkdir()
     try:
-        _write_store_contents(store, tmp)
+        _write_store_contents(store, tmp, layout=layout, segment_size=segment_size)
         _atomic_publish(tmp, path, token)
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
-def save_sharded(router, path: Union[str, Path]) -> None:
+def save_sharded(
+    router,
+    path: Union[str, Path],
+    layout: str = "mmap",
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+) -> None:
     """Persist a :class:`~repro.serve.router.ShardRouter` atomically.
 
-    Writes one ordinary store directory per shard plus a parent manifest
-    carrying the shard count and the explicit name-to-shard map, all into
-    a temporary sibling swapped in by rename — the whole sharded store
-    appears (or is replaced) as one atomic unit, with the same
-    crash-safety contract as :func:`save_store`.
+    Writes one ordinary store directory per shard (in the requested
+    ``layout``) plus a parent manifest carrying the shard count and the
+    explicit name-to-shard map, all into a temporary sibling swapped in
+    by rename — the whole sharded store appears (or is replaced) as one
+    atomic unit, with the same crash-safety contract as
+    :func:`save_store`.
 
     Every shard's write lock is held (in shard order) for the duration of
     the save, so the saved shards and the serialized shard map form one
@@ -351,6 +433,7 @@ def save_sharded(router, path: Union[str, Path]) -> None:
     Queries are never blocked — only writers wait.
     """
     path = Path(path)
+    _check_layout(layout)
     _check_replace_target(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     token = uuid.uuid4().hex[:8]
@@ -366,7 +449,12 @@ def save_sharded(router, path: Union[str, Path]) -> None:
             for shard in router.shards:
                 shard_dir = f"shard-{shard.index:04d}"
                 (tmp / shard_dir).mkdir()
-                _write_store_contents(shard.store, tmp / shard_dir)
+                _write_store_contents(
+                    shard.store,
+                    tmp / shard_dir,
+                    layout=layout,
+                    segment_size=segment_size,
+                )
                 shard_dirs.append(shard_dir)
             manifest = {
                 "format": SHARDED_FORMAT,
@@ -421,8 +509,20 @@ def detect_store_format(path: Union[str, Path]) -> str:
     )
 
 
+def _confined_name(value: Any) -> bool:
+    """True when ``value`` names a file inside the store directory: no
+    separators, no '..', no absolute paths."""
+    return isinstance(value, str) and bool(value) and Path(value).name == value
+
+
 def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
-    """Read and validate a store directory's manifest (no payload reads)."""
+    """Read and validate a store directory's manifest (no payload reads).
+
+    For schema <= 3 the manifest carries the entry records directly
+    (``manifest["entries"]``); for schema 4 it carries the segment index
+    (``manifest["segments"]``) and entry records live in per-segment
+    manifests — use :func:`iter_manifest_entries` to read them.
+    """
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
     manifest = _read_raw_manifest(path)
@@ -443,32 +543,118 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
             f"store schema {schema} is newer than supported schema "
             f"{STORE_SCHEMA_VERSION}; upgrade the library to load it"
         )
-    if not isinstance(manifest.get("entries"), list):
+    if schema >= MMAP_SCHEMA_VERSION:
+        if not isinstance(manifest.get("segments"), list):
+            raise StoreCorruptionError(f"{manifest_path} has no segment index")
+        for segment in manifest["segments"]:
+            if (
+                not isinstance(segment, dict)
+                or not _confined_name(segment.get("manifest"))
+                or not _confined_name(segment.get("data"))
+            ):
+                raise StoreCorruptionError(
+                    f"invalid segment index entry in {manifest_path}"
+                )
+    elif not isinstance(manifest.get("entries"), list):
         raise StoreCorruptionError(f"{manifest_path} has no entry list")
     return manifest
 
 
-def _hydrate_entry(
-    entry: StoreEntry,
-    payload_path: Path,
-    expected_kind: Optional[str] = None,
-    expected_uid: Optional[str] = None,
-) -> None:
-    """Fill ``entry.result.synopsis`` (and learner) from its npz payload."""
-    payload = _read_payload(payload_path)
-    if not isinstance(payload, dict) or "synopsis" not in payload:
+def _read_segment_manifest(
+    path: Path, segment_name: str, store_uid: Optional[str]
+) -> Dict[str, Any]:
+    """Parse one segment's JSON manifest with corruption wrapping."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
         raise StoreCorruptionError(
-            f"entry payload {payload_path.name!r} has no synopsis"
+            f"unreadable segment manifest {segment_name!r}: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("entries"), list):
+        raise StoreCorruptionError(
+            f"segment manifest {segment_name!r} has no entry list"
         )
+    if store_uid is not None and doc.get("store_uid") != store_uid:
+        raise StoreCorruptionError(
+            f"segment manifest {segment_name!r} belongs to a different "
+            f"save of this store"
+        )
+    return doc
+
+
+def iter_manifest_entries(
+    path: Union[str, Path],
+    manifest: Optional[Dict[str, Any]] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Entry records of a store directory, in manifest order.
+
+    For schema <= 3 this is just ``manifest["entries"]``; for schema 4 it
+    reads the per-segment manifests — **only** the segments whose index
+    row names one of ``names`` when a filter is given, so inspecting one
+    entry of a million-entry store touches one segment.  Records from
+    the mmap layout carry an extra ``"segment"`` key naming their data
+    file (payload specs alone do not identify it).
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+    wanted = None if names is None else {str(name) for name in names}
+    if manifest.get("schema", 0) < MMAP_SCHEMA_VERSION:
+        records = list(manifest["entries"])
+        if wanted is not None:
+            records = [
+                record
+                for record in records
+                if isinstance(record, dict) and record.get("name") in wanted
+            ]
+        return records
+    store_uid = manifest.get("store_uid")
+    records = []
+    for segment in manifest["segments"]:
+        segment_names = segment.get("names")
+        if wanted is not None and isinstance(segment_names, list):
+            if not any(name in wanted for name in segment_names):
+                continue
+        doc = _read_segment_manifest(
+            path / segment["manifest"], segment["manifest"], store_uid
+        )
+        for record in doc["entries"]:
+            if wanted is not None and (
+                not isinstance(record, dict) or record.get("name") not in wanted
+            ):
+                continue
+            if isinstance(record, dict):
+                record.setdefault("segment", segment["data"])
+            records.append(record)
+    return records
+
+
+def _install_payload(
+    entry: StoreEntry,
+    payload: Any,
+    label: str,
+    expected_kind: Optional[str],
+    expected_uid: Optional[str],
+) -> None:
+    """Validate a revived payload and install it on ``entry``.
+
+    Shared by both layouts' hydrators: every cross-check (store uid,
+    entry name, synopsis kind, domain size, streaming state) behaves the
+    same whether the payload came from an npz file or a mapped segment.
+    """
+    if not isinstance(payload, dict) or "synopsis" not in payload:
+        raise StoreCorruptionError(f"entry payload {label!r} has no synopsis")
     if expected_uid is not None and payload.get("store_uid") != expected_uid:
         raise StoreCorruptionError(
-            f"entry payload {payload_path.name!r} belongs to a different "
+            f"entry payload {label!r} belongs to a different "
             f"save of this store (the directory was replaced after load); "
             f"reload the store"
         )
     if "name" in payload and payload["name"] != entry.name:
         raise StoreCorruptionError(
-            f"entry payload {payload_path.name!r} holds entry "
+            f"entry payload {label!r} holds entry "
             f"{payload['name']!r}, not {entry.name!r}; payload files were "
             f"swapped or the manifest was rewritten"
         )
@@ -478,7 +664,7 @@ def _hydrate_entry(
         and payload["synopsis"].get("kind") != expected_kind
     ):
         raise StoreCorruptionError(
-            f"entry payload {payload_path.name!r} holds a "
+            f"entry payload {label!r} holds a "
             f"{payload['synopsis'].get('kind')!r} synopsis but the manifest "
             f"expects {expected_kind!r}"
         )
@@ -492,23 +678,62 @@ def _hydrate_entry(
         )
     except (KeyError, ValueError, TypeError, IndexError) as exc:
         raise StoreCorruptionError(
-            f"invalid entry payload {payload_path.name!r}: {exc}"
+            f"invalid entry payload {label!r}: {exc}"
         ) from exc
     if getattr(synopsis, "n", entry.result.n) != entry.result.n:
         raise StoreCorruptionError(
-            f"entry payload {payload_path.name!r} disagrees with the "
-            f"manifest on n"
+            f"entry payload {label!r} disagrees with the manifest on n"
         )
     streaming = entry.frozen_meta is not None and entry.frozen_meta.get(
         "streaming", False
     )
     if streaming and learner is None:
         raise StoreCorruptionError(
-            f"entry payload {payload_path.name!r} is marked streaming but "
+            f"entry payload {label!r} is marked streaming but "
             f"has no learner state"
         )
     entry.result.synopsis = synopsis
     entry.learner = learner
+
+
+def _hydrate_entry(
+    entry: StoreEntry,
+    payload_path: Path,
+    expected_kind: Optional[str] = None,
+    expected_uid: Optional[str] = None,
+) -> None:
+    """Fill ``entry.result.synopsis`` (and learner) from its npz payload."""
+    payload = _read_payload(payload_path)
+    _install_payload(entry, payload, payload_path.name, expected_kind, expected_uid)
+
+
+def _hydrate_entry_mmap(
+    entry: StoreEntry,
+    reader: SegmentReader,
+    spec: Dict[str, Any],
+    expected_kind: Optional[str],
+    expected_uid: Optional[str],
+) -> None:
+    """Fill ``entry.result.synopsis`` (and learner) from mapped arrays.
+
+    Synopsis arrays stay zero-copy read-only views into the segment map
+    (synopses are immutable once built); learner arrays are copied out,
+    because streaming learners mutate their state in place.
+    """
+    label = f"{reader.path.name}:{entry.name}"
+    try:
+        arrays = {}
+        for key, array_spec in spec["arrays"].items():
+            view = reader.array(array_spec)
+            if key.startswith("payload.learner"):
+                view = np.array(view)
+            arrays[key] = view
+        payload = _restore_payload(spec["skeleton"], arrays)
+    except (SegmentFormatError, OSError, KeyError, TypeError) as exc:
+        raise StoreCorruptionError(
+            f"unreadable entry payload {label!r}: {exc}"
+        ) from exc
+    _install_payload(entry, payload, label, expected_kind, expected_uid)
 
 
 def _frozen_meta(record: Dict[str, Any], result: BuildResult) -> Dict[str, Any]:
@@ -527,58 +752,104 @@ def _frozen_meta(record: Dict[str, Any], result: BuildResult) -> Dict[str, Any]:
     return meta
 
 
-def load_store(
-    path: Union[str, Path],
-    lazy: bool = True,
-    store_cls: type = SynopsisStore,
-) -> SynopsisStore:
-    """Load a store persisted by :func:`save_store`.
+def _parse_record(record: Any, path: Path) -> Tuple[Any, ...]:
+    """Shared manifest-record parse: every rotted field is corruption."""
+    try:
+        name = record["name"]
+        version = int(record["version"])
+        result = BuildResult.from_dict(record["result"])
+        built_at_samples = int(record.get("built_at_samples", 0))
+        frozen_meta = _frozen_meta(record, result)
+        plan_payload = record.get("plan")
+        plan = (
+            BuildPlan.from_dict(plan_payload)
+            if plan_payload is not None
+            else None
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise StoreCorruptionError(
+            f"invalid manifest entry in {path}: {exc}"
+        ) from exc
+    return name, version, result, built_at_samples, frozen_meta, plan
 
-    With ``lazy=True`` (the default) only the manifest is materialized;
-    each entry's payload hydrates on its first query, so a warm engine can
-    start serving a large store immediately.  Every payload file's
-    existence and zip integrity is still verified up front, so a truncated
-    or partially-deleted store fails here with
-    :exc:`StoreCorruptionError` rather than mid-query.  ``store_cls`` lets
-    :meth:`SynopsisStore.load` return subclass instances.
-    """
-    path = Path(path)
-    manifest = read_manifest(path)
+
+def _parse_last_versions(manifest: Dict[str, Any], path: Path) -> Dict[str, int]:
     raw_versions = manifest.get("last_versions") or {}
     if not isinstance(raw_versions, dict):
         raise StoreCorruptionError(f"invalid last_versions table in {path}")
     try:
-        last_versions = {str(k): int(v) for k, v in raw_versions.items()}
+        return {str(k): int(v) for k, v in raw_versions.items()}
     except (TypeError, ValueError) as exc:
         raise StoreCorruptionError(
             f"invalid last_versions table in {path}: {exc}"
         ) from exc
+
+
+def load_store(
+    path: Union[str, Path],
+    lazy: bool = True,
+    store_cls: type = SynopsisStore,
+    names: Optional[Sequence[str]] = None,
+) -> SynopsisStore:
+    """Load a store persisted by :func:`save_store` (either layout).
+
+    With ``lazy=True`` (the default) only the manifest(s) are
+    materialized; each entry's payload hydrates on its first query, so a
+    warm engine can start serving a large store immediately.  Every
+    payload's existence and basic integrity is still verified up front
+    (zip structure for npz payloads; segment headers and sizes for the
+    mmap layout), so a truncated or partially-deleted store fails here
+    with :exc:`StoreCorruptionError` rather than mid-query.
+
+    ``names`` restricts the load to the given entries; on a schema-4
+    store only the segments holding those names are read or checked at
+    all, so a selective load of a million-entry store is O(selection).
+    ``store_cls`` lets :meth:`SynopsisStore.load` return subclasses.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    last_versions = _parse_last_versions(manifest, path)
+    wanted = None if names is None else {str(name) for name in names}
     store = store_cls()
+    if manifest.get("schema", 0) >= MMAP_SCHEMA_VERSION:
+        _load_mmap_entries(store, path, manifest, lazy, wanted, last_versions)
+    else:
+        _load_npz_entries(store, path, manifest, lazy, wanted, last_versions)
+    if wanted is not None:
+        missing = wanted - set(store.names())
+        if missing:
+            raise KeyError(
+                f"store {path} has no entries named "
+                f"{', '.join(sorted(repr(m) for m in missing))}"
+            )
+    # Names that were removed after their last registration keep their
+    # version floor, so re-registering them never reissues a served version.
+    for name, last in last_versions.items():
+        if name not in store:
+            store._last_versions[name] = last
+    return store
+
+
+def _load_npz_entries(
+    store: SynopsisStore,
+    path: Path,
+    manifest: Dict[str, Any],
+    lazy: bool,
+    wanted: Optional[set],
+    last_versions: Dict[str, int],
+) -> None:
     seen = set()
     for record in manifest["entries"]:
-        try:
-            name = record["name"]
-            version = int(record["version"])
-            payload_name = record["payload"]
-            result = BuildResult.from_dict(record["result"])
-            built_at_samples = int(record.get("built_at_samples", 0))
-            frozen_meta = _frozen_meta(record, result)
-            plan_payload = record.get("plan")
-            plan = (
-                BuildPlan.from_dict(plan_payload)
-                if plan_payload is not None
-                else None
-            )
-        except (KeyError, TypeError, ValueError, AttributeError) as exc:
-            raise StoreCorruptionError(
-                f"invalid manifest entry in {path}: {exc}"
-            ) from exc
+        name, version, result, built_at_samples, frozen_meta, plan = (
+            _parse_record(record, path)
+        )
         if name in seen:
             raise StoreCorruptionError(f"duplicate entry name {name!r} in {path}")
         seen.add(name)
-        if not isinstance(payload_name, str) or Path(payload_name).name != payload_name:
-            # Confine payload reads to the store directory: no separators,
-            # no '..', no absolute paths.
+        if wanted is not None and name not in wanted:
+            continue
+        payload_name = record.get("payload")
+        if not _confined_name(payload_name):
             raise StoreCorruptionError(
                 f"invalid entry payload name {payload_name!r} in {path}"
             )
@@ -607,12 +878,84 @@ def load_store(
         if not lazy:
             entry.hydrate()
         store._adopt(entry, last_version=last_versions.get(name))
-    # Names that were removed after their last registration keep their
-    # version floor, so re-registering them never reissues a served version.
-    for name, last in last_versions.items():
-        if name not in store:
-            store._last_versions[name] = last
-    return store
+
+
+def _load_mmap_entries(
+    store: SynopsisStore,
+    path: Path,
+    manifest: Dict[str, Any],
+    lazy: bool,
+    wanted: Optional[set],
+    last_versions: Dict[str, int],
+) -> None:
+    store_uid = manifest.get("store_uid")
+    seen = set()
+    for segment in manifest["segments"]:
+        segment_names = segment.get("names")
+        if wanted is not None and isinstance(segment_names, list):
+            if not any(name in wanted for name in segment_names):
+                continue  # untouched segments are never read or checked
+        data_name = segment["data"]
+        data_path = path / data_name
+        manifest_path = path / segment["manifest"]
+        if not manifest_path.is_file():
+            raise StoreCorruptionError(
+                f"store {path} is missing segment manifest "
+                f"{segment['manifest']!r}"
+            )
+        if not data_path.is_file():
+            raise StoreCorruptionError(
+                f"store {path} is missing segment data file {data_name!r}"
+            )
+        expected_bytes = segment.get("bytes")
+        if isinstance(expected_bytes, int) and (
+            data_path.stat().st_size < expected_bytes
+        ):
+            raise StoreCorruptionError(
+                f"segment data file {data_name!r} in {path} is truncated "
+                f"({data_path.stat().st_size} of {expected_bytes} bytes)"
+            )
+        try:
+            read_segment_header(data_path, store_uid)
+        except SegmentFormatError as exc:
+            raise StoreCorruptionError(str(exc)) from exc
+        doc = _read_segment_manifest(manifest_path, segment["manifest"], store_uid)
+        reader = SegmentReader(data_path, store_uid=store_uid)
+        for record in doc["entries"]:
+            name, version, result, built_at_samples, frozen_meta, plan = (
+                _parse_record(record, path)
+            )
+            if name in seen:
+                raise StoreCorruptionError(
+                    f"duplicate entry name {name!r} in {path}"
+                )
+            seen.add(name)
+            if wanted is not None and name not in wanted:
+                continue
+            spec = record.get("payload")
+            if (
+                not isinstance(spec, dict)
+                or "skeleton" not in spec
+                or not isinstance(spec.get("arrays"), dict)
+            ):
+                raise StoreCorruptionError(
+                    f"invalid entry payload spec for {name!r} in {path}"
+                )
+            entry = StoreEntry(
+                name=name,
+                result=result,
+                version=version,
+                learner=None,
+                built_at_samples=built_at_samples,
+                plan=plan,
+                hydrator=lambda e, r=reader, s=spec, k=record.get(
+                    "synopsis_kind"
+                ), u=store_uid: _hydrate_entry_mmap(e, r, s, k, u),
+                frozen_meta=frozen_meta,
+            )
+            if not lazy:
+                entry.hydrate()
+            store._adopt(entry, last_version=last_versions.get(name))
 
 
 # --------------------------------------------------------------------- #

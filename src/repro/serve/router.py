@@ -513,14 +513,15 @@ class ShardRouter:
     # Persistence (implementation in repro.serve.persistence)
     # ------------------------------------------------------------------ #
 
-    def save(self, path) -> None:
+    def save(self, path, **kwargs) -> None:
         """Persist as a sharded store directory (atomic replace).
 
-        See :func:`repro.serve.persistence.save_sharded`.
+        Keyword arguments (``layout``, ``segment_size``) pass through to
+        :func:`repro.serve.persistence.save_sharded`.
         """
         from .persistence import save_sharded
 
-        save_sharded(self, path)
+        save_sharded(self, path, **kwargs)
 
     @classmethod
     def load(cls, path, lazy: bool = True, cache_size: int = 32) -> "ShardRouter":

@@ -496,14 +496,15 @@ class SynopsisStore:
     # Persistence (implementation in repro.serve.persistence)
     # ------------------------------------------------------------------ #
 
-    def save(self, path) -> None:
+    def save(self, path, **kwargs) -> None:
         """Persist the store to directory ``path`` (atomic replace).
 
-        See :func:`repro.serve.persistence.save_store`.
+        Keyword arguments (``layout``, ``segment_size``) pass through to
+        :func:`repro.serve.persistence.save_store`.
         """
         from .persistence import save_store
 
-        save_store(self, path)
+        save_store(self, path, **kwargs)
 
     @classmethod
     def load(cls, path, lazy: bool = True) -> "SynopsisStore":

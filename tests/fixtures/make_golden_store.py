@@ -4,15 +4,18 @@ Run from the repo root::
 
     PYTHONPATH=src:tests python tests/fixtures/make_golden_store.py
 
-Writes ``tests/fixtures/golden_store/`` (a persisted ``SynopsisStore``)
-with ``golden_expected.json``, plus ``golden_sharded_store/`` (the same
-entries persisted through a 2-shard ``ShardRouter``) with
-``golden_sharded_expected.json``.  ``test_persistence.py`` /
-``test_shard.py`` assert that current code loads the checked-in stores
-into the same answers, guarding both the per-store on-disk schema and
-the sharded parent manifest against silent format drift — so only
-regenerate after a *deliberate* schema bump, and commit all four
-fixtures together.
+Writes ``tests/fixtures/golden_store/`` (a persisted ``SynopsisStore``,
+legacy npz layout) with ``golden_expected.json``, plus
+``golden_sharded_store/`` (the same entries persisted through a 2-shard
+``ShardRouter``) with ``golden_sharded_expected.json``, plus
+``golden_mmap_store/`` (the same entries in the schema-4 segmented mmap
+layout, sharing ``golden_expected.json``).  ``test_persistence.py`` /
+``test_shard.py`` / ``test_mmap.py`` assert that current code loads the
+checked-in stores into the same answers, guarding the npz compat
+reader, the sharded parent manifest, and the segmented layout against
+silent format drift — so only regenerate after a *deliberate* schema
+bump, and commit the fixtures together.  ``--which mmap`` regenerates
+only the mmap store, leaving the npz goldens byte-identical.
 
 The input signal is exact rational arithmetic (no RNG, no libm), so the
 stores' contents are reproducible bit-for-bit across platforms.
@@ -20,6 +23,7 @@ stores' contents are reproducible bit-for-bit across platforms.
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
 
@@ -39,6 +43,7 @@ STORE_DIR = FIXTURE_DIR / "golden_store"
 EXPECTED_PATH = FIXTURE_DIR / "golden_expected.json"
 SHARDED_STORE_DIR = FIXTURE_DIR / "golden_sharded_store"
 SHARDED_EXPECTED_PATH = FIXTURE_DIR / "golden_sharded_expected.json"
+MMAP_STORE_DIR = FIXTURE_DIR / "golden_mmap_store"
 NUM_SHARDS = 2
 
 N = 64
@@ -138,8 +143,26 @@ def record_answers(engine) -> dict:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--which",
+        default="all",
+        choices=["all", "mmap"],
+        help="'mmap' regenerates only golden_mmap_store, leaving the "
+        "checked-in npz goldens byte-identical",
+    )
+    args = parser.parse_args()
+
+    # The mmap fixture reuses golden_expected.json: same entries, same
+    # answers — only the payload encoding differs.
+    mmap_store = build_store()
+    mmap_store.save(MMAP_STORE_DIR, layout="mmap")
+    print(f"wrote {MMAP_STORE_DIR}")
+    if args.which == "mmap":
+        return
+
     store = build_store()
-    store.save(STORE_DIR)
+    store.save(STORE_DIR, layout="npz")
     expected = {
         "ranges": RANGES,
         "positions": CDF_POSITIONS,
@@ -153,7 +176,7 @@ def main() -> None:
     print(f"wrote {STORE_DIR} and {EXPECTED_PATH}")
 
     router = build_router()
-    router.save(SHARDED_STORE_DIR)
+    router.save(SHARDED_STORE_DIR, layout="npz")
     sharded_expected = {
         "ranges": RANGES,
         "positions": CDF_POSITIONS,

@@ -34,7 +34,11 @@ from repro import (
 )
 from repro.__main__ import main
 from repro.serve.engine import PrefixTable
-from repro.serve.persistence import STORE_SCHEMA_VERSION, read_manifest
+from repro.serve.persistence import (
+    NPZ_SCHEMA_VERSION,
+    STORE_SCHEMA_VERSION,
+    read_manifest,
+)
 
 from helpers import (
     histograms,
@@ -476,9 +480,11 @@ class TestGoldenFixture:
         return store, expected
 
     def test_schema_version_matches(self):
+        # The npz golden fixture is pinned at the legacy schema; the
+        # schema-4 mmap golden lives in test_mmap.py.
         manifest = read_manifest(FIXTURES / "golden_store")
-        assert manifest["schema"] == STORE_SCHEMA_VERSION, (
-            "schema version bumped: regenerate the golden fixture with "
+        assert manifest["schema"] == NPZ_SCHEMA_VERSION, (
+            "npz schema version bumped: regenerate the golden fixture with "
             "tests/fixtures/make_golden_store.py and commit both files"
         )
 
@@ -534,12 +540,14 @@ class TestGoldenFixture:
 
 @pytest.fixture
 def saved_store(tmp_path):
+    # Saved in the legacy npz layout: this class exercises the npz compat
+    # reader's corruption handling (the mmap layout's is in test_mmap.py).
     values = small_signal(120, seed=9)
     store = SynopsisStore()
     store.register("a", values, family="merging", k=4)
     store.register("b", values, family="wavelet", k=4)
     path = tmp_path / "store"
-    store.save(path)
+    store.save(path, layout="npz")
     return store, path
 
 
@@ -709,7 +717,7 @@ class TestCorruption:
         store.register("a", values, family="merging", k=3)
         store.register("b", 2.0 * values, family="merging", k=3)
         path = tmp_path / "store"
-        store.save(path)
+        store.save(path, layout="npz")
         a, b = path / "entry-0000.npz", path / "entry-0001.npz"
         tmp = path / "swap.npz"
         a.rename(tmp), b.rename(a), tmp.rename(b)
@@ -730,7 +738,7 @@ class TestCorruption:
         # save of the same directory under the old metadata (regression).
         store, path = saved_store
         loaded = SynopsisStore.load(path)  # lazy: nothing hydrated yet
-        store.save(path)  # same entries, but a different save generation
+        store.save(path, layout="npz")  # same entries, different generation
         engine = QueryEngine(loaded)
         with pytest.raises(StoreCorruptionError, match="different\n?.*save"):
             engine.range_sum("a", 0, 10)
@@ -745,18 +753,18 @@ class TestCorruption:
         self, saved_store, monkeypatch
     ):
         store, path = saved_store
-        import repro.serve.persistence as persistence
+        from repro.serve import mmap_store
 
         calls = {"count": 0}
-        real = persistence._write_payload
+        real = mmap_store.SegmentWriter.add
 
-        def exploding_write(target, payload):
+        def exploding_add(self, payload):
             if calls["count"] >= 1:  # first payload lands, then the disk "fills"
                 raise OSError("disk full (simulated)")
             calls["count"] += 1
-            real(target, payload)
+            return real(self, payload)
 
-        monkeypatch.setattr(persistence, "_write_payload", exploding_write)
+        monkeypatch.setattr(mmap_store.SegmentWriter, "add", exploding_add)
         replacement = SynopsisStore()
         replacement.register("other", small_signal(60, seed=1), family="merging", k=2)
         replacement.register("more", small_signal(60, seed=2), family="merging", k=2)
@@ -787,8 +795,8 @@ class TestPersistenceCLI:
 
         assert main(["inspect", store_dir]) == 0
         out = capsys.readouterr().out
-        assert "repro-synopsis-store schema=3 entries=2" in out
-        assert "payload=entry-0000.npz" in out
+        assert "repro-synopsis-store schema=4 entries=2 segments=1" in out
+        assert "payload=segment-0000.bin" in out
 
         assert main(["load", store_dir]) == 0
         out = capsys.readouterr().out

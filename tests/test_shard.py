@@ -576,9 +576,9 @@ class TestShardedPersistence:
         populate(router, NAMES[:4])
         real = persistence._write_store_contents
 
-        def slow_write(store, target):
+        def slow_write(store, target, **kwargs):
             time_mod.sleep(0.05)  # hold the snapshot window open
-            real(store, target)
+            real(store, target, **kwargs)
 
         monkeypatch.setattr(persistence, "_write_store_contents", slow_write)
         path = tmp_path / "sharded"
