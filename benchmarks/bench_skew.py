@@ -1,0 +1,248 @@
+"""Benchmark: EXT-skew — skew-aware placement vs static hash sharding.
+
+The workload is the skewed traffic real per-user synopsis serving sees:
+90% of requests hammer ONE hot entry while the other 10% spread over the
+remaining names (a 90/10 Zipf-style split).  Under **static hash
+placement** the hot entry lives on exactly one of the 4 shards, so the
+thread-pool front end collapses onto that shard's lock and core — three
+shards idle while one melts.
+
+The **skew-aware leg** serves the same requests over the same data after
+one :class:`repro.serve.loadstats.Rebalancer` pass: a warm pass mints the
+per-entry counters, the :class:`~repro.serve.loadstats.HotnessTracker`
+folds them into decayed QPS, and the policy replicates the hot entry
+across the other shards (and migrates it off competing load).  The front
+end then round-robins the hot entry's reads across all placements, so
+the skewed workload parallelizes like a uniform one.
+
+``test_skew_speedup_at_4_shards`` is the acceptance gate: with
+replication on, the rebalanced router must beat static hash placement by
+>= 2x batched throughput on the 90/10 workload at 4 shards.  Replication
+only pays when the fan-out actually lands on different cores, so the
+gate is skipped below 4 CPUs — the functional legs (rebalance happens,
+answers identical before and after) always run.  Every run refreshes
+``BENCH_skew.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import QueryEngine
+from repro.serve.frontend import AsyncServingFrontend, QueryRequest
+from repro.serve.loadstats import HotnessTracker, Rebalancer
+from repro.serve.router import ShardRouter
+from repro.serve.store import SynopsisStore
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_skew.json"
+
+NUM_NAMES = 16
+UNIVERSE = 16_384
+NUM_REQUESTS = 2_048
+BATCH_PER_REQUEST = 32
+NUM_SHARDS = 4
+HOT_NAME = "series-00"
+HOT_FRACTION = 0.9
+REPEATS = 5
+GATE = 2.0
+
+
+def _signals():
+    rng = np.random.default_rng(7)
+    return {
+        f"series-{i:02d}": np.abs(rng.normal(1.0, 0.5, UNIVERSE)) + 1e-6
+        for i in range(NUM_NAMES)
+    }
+
+
+def _requests():
+    """90/10 skew: most requests hit HOT_NAME, the rest spread evenly."""
+    rng = np.random.default_rng(13)
+    cold = [f"series-{i:02d}" for i in range(1, NUM_NAMES)]
+    requests = []
+    for _ in range(NUM_REQUESTS):
+        if rng.random() < HOT_FRACTION:
+            name = HOT_NAME
+        else:
+            name = cold[int(rng.integers(len(cold)))]
+        a = rng.integers(0, UNIVERSE, BATCH_PER_REQUEST)
+        b = rng.integers(0, UNIVERSE, BATCH_PER_REQUEST)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        requests.append(QueryRequest("range_sum", name, (a, b)))
+    return requests
+
+
+def _build_router(signals):
+    router = ShardRouter(num_shards=NUM_SHARDS, cache_size=NUM_NAMES)
+    for name, values in signals.items():
+        # "exact" keeps registration cheap while giving large prefix
+        # tables (one piece per run), so query time dominates build time.
+        router.register(name, values, family="exact", k=1)
+    router.warm()
+    return router
+
+
+def _build_workload():
+    signals = _signals()
+    requests = _requests()
+
+    store = SynopsisStore()
+    for name, values in signals.items():
+        store.register(name, values, family="exact", k=1)
+    engine = QueryEngine(store, cache_size=NUM_NAMES)
+    engine.warm()
+    expected = [
+        engine.range_sum(request.name, *request.args) for request in requests
+    ]
+    # Two identical routers over the same data: one keeps the static
+    # hash placement, the other gets the rebalancer treatment.
+    return _build_router(signals), _build_router(signals), requests, expected
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _build_workload()
+
+
+def _time_best(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _verify(results, expected):
+    assert len(results) == len(expected)
+    for result, want in zip(results, expected):
+        assert result.ok, result.error
+        np.testing.assert_array_equal(result.value, want)
+
+
+def run_comparison(workload, verbose=True):
+    static_router, skew_router, requests, expected = workload
+    total_queries = NUM_REQUESTS * BATCH_PER_REQUEST
+    if verbose:
+        print(
+            f"\nworkload: {NUM_REQUESTS} requests x {BATCH_PER_REQUEST} "
+            f"range sums, {HOT_FRACTION:.0%} on one of {NUM_NAMES} names "
+            f"(n={UNIVERSE}), {NUM_SHARDS} shards, cpus={os.cpu_count()}"
+        )
+
+    with AsyncServingFrontend(static_router) as frontend:
+        _verify(frontend.serve(requests), expected)
+        static = _time_best(lambda: frontend.serve(requests))
+    if verbose:
+        print(
+            f"static hash placement:  {static * 1e3:8.2f}ms  "
+            f"{total_queries / static:12,.0f} q/s"
+        )
+
+    with AsyncServingFrontend(skew_router) as frontend:
+        # Warm pass mints the per-entry counters the tracker feeds on;
+        # one policy pass then replicates the hot entry for fan-out.
+        _verify(frontend.serve(requests), expected)
+        policy = Rebalancer(HotnessTracker(), hot_qps=1.0, replicate_qps=2.0)
+        actions = policy.rebalance(skew_router)
+        assert (
+            len(skew_router.replicas_of(HOT_NAME)) == NUM_SHARDS - 1
+        ), "rebalance must replicate the hot entry across every shard"
+        _verify(frontend.serve(requests), expected)  # same answers after
+        rebalanced = _time_best(lambda: frontend.serve(requests))
+    speedup = static / rebalanced
+    if verbose:
+        for action in actions:
+            print(f"  rebalance: {action.describe()}")
+        print(
+            f"skew-aware placement:   {rebalanced * 1e3:8.2f}ms  "
+            f"{total_queries / rebalanced:12,.0f} q/s  "
+            f"speedup {speedup:5.2f}x"
+        )
+    return {
+        "static": {
+            "mode": f"static hash, {NUM_SHARDS} shards",
+            "elapsed_ms": static * 1e3,
+            "queries_per_s": total_queries / static,
+            "speedup_x": 1.0,
+        },
+        "rebalanced": {
+            "mode": (
+                f"after one rebalance pass (hot entry replicated "
+                f"{NUM_SHARDS - 1}x)"
+            ),
+            "elapsed_ms": rebalanced * 1e3,
+            "queries_per_s": total_queries / rebalanced,
+            "speedup_x": speedup,
+        },
+        "actions": [action.describe() for action in actions],
+    }
+
+
+def _record(rows):
+    """Refresh the perf-trajectory file with this run's measurements."""
+    payload = {
+        "benchmark": "bench_skew",
+        "workload": (
+            f"{NUM_REQUESTS} requests x {BATCH_PER_REQUEST} range sums, "
+            f"{HOT_FRACTION:.0%} on 1 of {NUM_NAMES} names (n={UNIVERSE}), "
+            f"{NUM_SHARDS} shards"
+        ),
+        "cpus": os.cpu_count(),
+        "gates": {
+            "skew_aware": (
+                f"rebalanced >= {GATE}x static hash placement on the "
+                f"90/10 workload (>= 4 cores)"
+            ),
+        },
+        "results": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+@pytest.fixture(scope="module")
+def comparison_rows(workload):
+    # One timing pass shared by every test below: re-running the
+    # comparison per test would multiply the CI bench-smoke job's
+    # measurement work and let gates see different timings.
+    rows = run_comparison(workload)
+    _record(rows)
+    return rows
+
+
+def test_rebalance_replicated_the_hot_entry(workload, comparison_rows):
+    """Functional floor: the policy pass actually changed placement (the
+    hot entry fans across every shard) and both legs posted throughput."""
+    _static, skew_router, _requests, _expected = workload
+    assert len(skew_router.replicas_of(HOT_NAME)) == NUM_SHARDS - 1
+    assert comparison_rows["static"]["queries_per_s"] > 0
+    assert comparison_rows["rebalanced"]["queries_per_s"] > 0
+    assert any("replicate" in action for action in comparison_rows["actions"])
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="replication fan-out gate needs >= 4 cores",
+)
+def test_skew_speedup_at_4_shards(comparison_rows):
+    """Acceptance gate: >= 2x batched throughput under the 90/10 skewed
+    workload at 4 shards, replication on, versus static hash placement."""
+    speedup = comparison_rows["rebalanced"]["speedup_x"]
+    assert speedup >= GATE, f"skew-aware speedup only {speedup:.2f}x"
+
+
+def test_results_file_written(comparison_rows):
+    payload = json.loads(RESULTS_PATH.read_text())
+    assert payload["benchmark"] == "bench_skew"
+    assert "rebalanced" in payload["results"]
+
+
+if __name__ == "__main__":
+    _record(run_comparison(_build_workload()))

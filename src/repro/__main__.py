@@ -23,7 +23,12 @@ Serving commands:
   shard worker *processes* over memory-mapped payloads (escapes the
   GIL); ``plan <name>`` prints an auto-planned entry's decision record;
   ``--window W`` adds a sliding-window streaming entry answering the
-  ``heavy`` command (approximate heavy hitters over the live window)
+  ``heavy`` command (approximate heavy hitters over the live window);
+  ``rebalance`` runs one skew-aware placement pass — migrating /
+  replicating hot entries by decayed QPS (thresholds via ``--hot-qps``
+  / ``--replicate-qps``; with ``--workers`` it instead checks the
+  persisted shard map and reloads on change) — and
+  ``--rebalance-interval S`` runs that same pass in the background
 * ``save``        — build synopses and persist the store to a directory
   (``--shards N`` writes the sharded layout; ``--families auto`` plans;
   ``--layout npz`` writes the legacy compressed layout instead of the
@@ -38,7 +43,9 @@ Serving commands:
   queries, and print the metrics exposition (``--format text`` for
   Prometheus text format, ``json`` for the percentile readout;
   ``--workers N`` probes worker processes and merges their registries;
-  ``--no-probe`` reports registry state without touching payloads)
+  ``--no-probe`` reports registry state without touching payloads;
+  ``--top N`` prints the N hottest entries by decayed QPS with cache
+  hit rates instead of the exposition)
 
 Run ``python -m repro <command> --help`` for per-command options.
 """

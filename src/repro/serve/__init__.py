@@ -72,6 +72,7 @@ from .persistence import (
     save_sharded,
     save_store,
 )
+from .loadstats import HotnessTracker, RebalanceAction, Rebalancer
 from .router import Shard, ShardMap, ShardRouter, stable_shard
 from .store import StoreEntry, StreamLearner, SynopsisStore
 
@@ -85,11 +86,14 @@ __all__ = [
     "CacheStats",
     "CandidateSpec",
     "FamilySpec",
+    "HotnessTracker",
     "LEARNER_KINDS",
     "PrefixTable",
     "QueryEngine",
     "QueryRequest",
     "QueryResult",
+    "RebalanceAction",
+    "Rebalancer",
     "Shard",
     "ShardMap",
     "ShardRouter",

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 from typing import Optional, Sequence, TextIO
 
@@ -97,6 +98,7 @@ from .persistence import (
     read_manifest,
     read_sharded_manifest,
 )
+from .loadstats import HotnessTracker, Rebalancer
 from .planner import BuildBudget
 from .router import ShardRouter
 from .store import SynopsisStore
@@ -609,6 +611,30 @@ def serve_main(
         "detected automatically) instead of building synopses from "
         "--dataset/--families",
     )
+    parser.add_argument(
+        "--rebalance-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the skew-aware rebalancer (with --workers: the versioned "
+        "shard-map reload check) in a background thread every SECONDS",
+    )
+    parser.add_argument(
+        "--hot-qps",
+        type=float,
+        default=1.0,
+        metavar="QPS",
+        help="decayed per-entry QPS above which the rebalancer migrates an "
+        "entry to a dedicated shard (demotion at half this; default 1.0)",
+    )
+    parser.add_argument(
+        "--replicate-qps",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="decayed per-entry QPS above which reads replicate across "
+        "shards (default: 2x --hot-qps)",
+    )
     args = parser.parse_args(argv)
     src = sys.stdin if stdin is None else stdin
     out = sys.stdout if stdout is None else stdout
@@ -655,10 +681,42 @@ def serve_main(
         f"{router.num_shards} shard(s){workers_note} "
         f"({', '.join(router.names())}); "
         f"commands: range mean point cdf quantile topk inner heavy summary "
-        f"inspect plan shards cache metrics save quit",
+        f"inspect plan shards cache metrics rebalance save quit",
         file=out,
     )
     processes = isinstance(router, ProcessShardRouter)
+    rebalancer = None
+    if not processes:
+        rebalancer = Rebalancer(
+            HotnessTracker(),
+            hot_qps=args.hot_qps,
+            replicate_qps=args.replicate_qps,
+        )
+
+    def _rebalance_once() -> list:
+        """One policy pass (in-process) or map-reload check (--workers)."""
+        if processes:
+            return ["shard map reloaded"] if router.maybe_reload() else []
+        return [action.describe() for action in rebalancer.rebalance(router)]
+
+    stop_rebalancing = threading.Event()
+    if args.rebalance_interval is not None:
+        if args.rebalance_interval <= 0:
+            raise SystemExit(
+                f"error: --rebalance-interval must be positive, "
+                f"got {args.rebalance_interval}"
+            )
+
+        def _rebalance_loop() -> None:
+            while not stop_rebalancing.wait(args.rebalance_interval):
+                try:
+                    _rebalance_once()
+                except Exception as exc:  # keep serving; surface the failure
+                    print(f"rebalance failed: {exc}", file=sys.stderr)
+
+        threading.Thread(
+            target=_rebalance_loop, daemon=True, name="repro-rebalance"
+        ).start()
     for line in src:
         words = line.split()
         if not words:
@@ -687,6 +745,12 @@ def serve_main(
                 _print_cache_info(out, router.cache_info())
             elif cmd == "metrics":
                 _print_metrics(out, router, words[1] if len(words) > 1 else "text")
+            elif cmd == "rebalance":
+                changes = _rebalance_once()
+                for change in changes:
+                    print(change, file=out)
+                if not changes:
+                    print("(no placement changes)", file=out)
             elif cmd == "inspect":
                 meta = router.describe(words[1])
                 print(_summary_line(meta), file=out)
@@ -762,6 +826,7 @@ def serve_main(
             StoreCorruptionError,
         ) as exc:
             print(f"error: {exc}", file=out)
+    stop_rebalancing.set()
     if processes:
         router.close()
     return 0
@@ -797,12 +862,23 @@ def metrics_main(
         help="report registry state without querying any entry: no "
         "payload is hydrated, so a cold store renders instantly",
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instead of the exposition, print the N hottest entries by "
+        "decayed QPS estimate with their cache hit rates (the skew view "
+        "an operator reads before rebalancing)",
+    )
     _shards_argument(parser)
     _workers_argument(parser)
     args = parser.parse_args(argv)
     out = sys.stdout if stdout is None else stdout
     if args.queries < 1:
         raise SystemExit(f"--queries must be positive, got {args.queries}")
+    if args.top is not None and args.top < 1:
+        raise SystemExit(f"--top must be positive, got {args.top}")
 
     if args.workers is not None:
         router = _load_process_router_or_exit(args.store_dir, args.workers)
@@ -828,7 +904,18 @@ def metrics_main(
                 # stderr, not the exposition stream: a failed probe must not
                 # corrupt the JSON document or the text-format payload.
                 print(f"probe of {name!r} failed: {exc}", file=sys.stderr)
-    _print_metrics(out, router, args.format)
+    if args.top is not None:
+        tracker = HotnessTracker()
+        tracker.fold(_merged_registry(router))
+        ranked = tracker.top(args.top)
+        if not ranked:
+            print("(no queries observed)", file=out)
+        for name, qps in ranked:
+            rate = tracker.hit_rate(name)
+            hit = "-" if rate is None else f"{rate:.0%}"
+            print(f"{name}: {qps:.2f} qps (cache hit rate {hit})", file=out)
+    else:
+        _print_metrics(out, router, args.format)
     if isinstance(router, ProcessShardRouter):
         router.close()
     return 0

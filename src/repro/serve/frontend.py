@@ -25,11 +25,21 @@ computed from.  Versions come from the engine's atomic
 holding the target shard's write lock — so a streaming refresh can never
 race a query against a half-bumped entry, and every answer is
 attributable to one consistent ``(name, version)`` snapshot.
+
+Placement is *skew-aware*: entries with read replicas in the shard map
+have their coalescible reads fanned round-robin across the primary and
+replica shards, with version-checked fan-in — an answer computed on a
+replica whose snapshot trails the primary's live version is recomputed
+on the primary instead of served stale.  And because
+``ShardRouter.migrate`` can move an entry between the route decision and
+the evaluation, a miss on the routed shard re-resolves against the
+*current* map and retries there, so live migration never drops a query.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
@@ -199,6 +209,21 @@ class AsyncServingFrontend:
             "frontend_request_errors_total",
             "requests that returned a per-request error",
         )
+        self._c_replica_reads = self.registry.counter(
+            "frontend_replica_reads_total",
+            "coalescible reads routed to a replica shard",
+        )
+        self._c_replica_stale = self.registry.counter(
+            "frontend_replica_stale_fallbacks_total",
+            "replica answers recomputed on the primary (stale snapshot)",
+        )
+        self._c_migrated_retries = self.registry.counter(
+            "frontend_migrated_retries_total",
+            "requests re-served on the current shard after a live migration",
+        )
+        # Round-robin cursor for replica fan-out; itertools.count is
+        # effectively atomic under the GIL, so routing stays lock-free.
+        self._rr = itertools.count()
         # Batch sizes are counts, not seconds: buckets 1..~1M instead of
         # the latency range.
         self._h_batch_size = self.registry.histogram(
@@ -251,6 +276,67 @@ class AsyncServingFrontend:
         return instruments
 
     # ------------------------------------------------------------------ #
+    # Routing (replica fan-out, migration drain)
+    # ------------------------------------------------------------------ #
+
+    def _route(self, request: QueryRequest) -> int:
+        """The shard index to evaluate ``request`` on.
+
+        Coalescible reads of a replicated entry fan round-robin across
+        the primary and replica shards; everything else — writes,
+        heavy_hitters (needs the live learner, which replicas don't
+        carry), top_k, inner_product — goes to the primary.
+        """
+        shard_map = self.router.shard_map
+        if request.kind in _COALESCIBLE:
+            placements = shard_map.placements_of(request.name)
+            if len(placements) > 1:
+                return placements[next(self._rr) % len(placements)]
+        return shard_map.shard_of(request.name)
+
+    def _replica_fallback(
+        self, shard: Shard, name: str, version: int
+    ) -> Optional[Shard]:
+        """Version-checked fan-in for replica answers.
+
+        When ``shard`` is not ``name``'s primary, the snapshot version it
+        served is compared against the primary entry's live version; if
+        the replica trails (a refresh/extend landed on the primary and
+        propagation hasn't reached this shard yet), the primary shard is
+        returned so the caller recomputes there instead of serving stale.
+        """
+        primary_index = self.router.shard_map.shard_of(name)
+        if primary_index == shard.index:
+            return None
+        self._c_replica_reads.inc()
+        primary = self.router.shards[primary_index]
+        try:
+            current = primary.store[name].version
+        except KeyError:  # mid-migration; the snapshot we have is fine
+            return None
+        if current > version:
+            self._c_replica_stale.inc()
+            return primary
+        return None
+
+    def _migration_target(
+        self, shard: Shard, name: str, exc: Exception
+    ) -> Optional[Shard]:
+        """Where to retry after a miss caused by a live migration.
+
+        A KeyError on the routed shard when the *current* map places the
+        name elsewhere means the entry moved (or its replica was dropped)
+        between routing and evaluation — the defining race of
+        ``ShardRouter.migrate``.  Any other failure returns None.
+        """
+        if not isinstance(exc, KeyError):
+            return None
+        current = self.router.shard_map.shard_of(name)
+        if current == shard.index:
+            return None
+        return self.router.shards[current]
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
@@ -288,8 +374,9 @@ class AsyncServingFrontend:
         with trace.span("route", requests=len(indexed)):
             by_shard: Dict[int, List[Tuple[int, QueryRequest]]] = {}
             for index, request in indexed:
-                shard_index = self.router.shard_map.shard_of(request.name)
-                by_shard.setdefault(shard_index, []).append((index, request))
+                by_shard.setdefault(self._route(request), []).append(
+                    (index, request)
+                )
         loop = asyncio.get_running_loop()
         jobs = [
             loop.run_in_executor(
@@ -409,6 +496,28 @@ class AsyncServingFrontend:
             merged = sum(len(group) for group in groups.values() if len(group) > 1)
             if merged:
                 self._c_coalesced.inc(merged)
+            # Per-entry request volume, for the hotness tracker.  The
+            # engine's per-entry cache series counts *table accesses* —
+            # one per coalesced group — so under coalescing it
+            # undercounts load by the batch size; this series counts
+            # requests.  Looked up (not cached) so removal via
+            # ``registry.drop(entry=...)`` stays effective across
+            # re-registration.
+            request_counts: Dict[str, int] = {}
+            for (group_name, _kind), group in groups.items():
+                request_counts[group_name] = request_counts.get(
+                    group_name, 0
+                ) + len(group)
+            for _index, request in singles:
+                request_counts[request.name] = (
+                    request_counts.get(request.name, 0) + 1
+                )
+            for entry_name, count in request_counts.items():
+                self.registry.counter(
+                    "frontend_entry_requests_total",
+                    "requests addressed to the entry",
+                    entry=entry_name,
+                ).inc(count)
             with span("evaluate", shard=shard.index, requests=len(items)):
                 results: List[QueryResult] = []
                 for (name, kind), group in groups.items():
@@ -425,7 +534,7 @@ class AsyncServingFrontend:
             histogram.observe(time.perf_counter() - started)
 
     def _serve_one(
-        self, shard: Shard, index: int, request: QueryRequest
+        self, shard: Shard, index: int, request: QueryRequest, _hops: int = 0
     ) -> QueryResult:
         try:
             if request.kind == "heavy_hitters":
@@ -445,6 +554,10 @@ class AsyncServingFrontend:
                     version=version,
                 )
             version, table = shard.engine.table_versioned(request.name)
+            fallback = self._replica_fallback(shard, request.name, version)
+            if fallback is not None:
+                shard = fallback
+                version, table = shard.engine.table_versioned(request.name)
             start = time.perf_counter()
             try:
                 if request.kind == "inner_product":
@@ -464,6 +577,10 @@ class AsyncServingFrontend:
                     request.kind, time.perf_counter() - start
                 )
         except _REQUEST_ERRORS as exc:
+            retry = self._migration_target(shard, request.name, exc)
+            if retry is not None and _hops < 4:
+                self._c_migrated_retries.inc()
+                return self._serve_one(retry, index, request, _hops + 1)
             return QueryResult(
                 index=index, name=request.name, kind=request.kind, error=str(exc)
             )
@@ -481,6 +598,7 @@ class AsyncServingFrontend:
         name: str,
         kind: str,
         group: List[Tuple[int, QueryRequest]],
+        _hops: int = 0,
     ) -> List[QueryResult]:
         """One vectorized call for same-(name, kind) requests, split back.
 
@@ -492,10 +610,21 @@ class AsyncServingFrontend:
         try:
             version, table = shard.engine.table_versioned(name)
         except _REQUEST_ERRORS as exc:
+            retry = self._migration_target(shard, name, exc)
+            if retry is not None and _hops < 4:
+                self._c_migrated_retries.inc()
+                return self._serve_coalesced(retry, name, kind, group, _hops + 1)
             return [
                 QueryResult(index=i, name=name, kind=kind, error=str(exc))
                 for i, _ in group
             ]
+        fallback = self._replica_fallback(shard, name, version)
+        if fallback is not None:
+            shard = fallback
+            try:
+                version, table = shard.engine.table_versioned(name)
+            except _REQUEST_ERRORS:
+                return [self._serve_one(shard, i, r) for i, r in group]
         # Broadcast each request's own arguments against each other BEFORE
         # concatenating across requests: a request like (scalar a, array b)
         # must occupy the same positions in every stacked argument, or

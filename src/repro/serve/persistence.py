@@ -74,7 +74,7 @@ import uuid
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -137,7 +137,11 @@ STORE_SCHEMA_VERSION = 4
 MMAP_SCHEMA_VERSION = 4
 NPZ_SCHEMA_VERSION = 3
 SHARDED_FORMAT = "repro-synopsis-store-sharded"
-SHARDED_SCHEMA_VERSION = 1
+# Sharded schema 2: the shard map carries replica sets and a map version
+# (skew-aware placement).  Schema-1 parent manifests still load — the
+# new fields default to empty — and loaders older than the bump refuse
+# newer stores cleanly, exactly like the per-store schema history.
+SHARDED_SCHEMA_VERSION = 2
 
 #: Entries per segment in the mmap layout.  Small enough that selective
 #: loads of a million-entry store touch a sliver of it, large enough
@@ -264,24 +268,36 @@ def _write_store_contents(
     target: Path,
     layout: str = "mmap",
     segment_size: int = DEFAULT_SEGMENT_SIZE,
+    exclude: Optional[Set[str]] = None,
 ) -> None:
     """Write one store's payloads + manifest into ``target`` (no atomicity).
 
     Callers own crash safety: ``target`` must be inside a temporary
-    directory that is atomically published afterwards.
+    directory that is atomically published afterwards.  Names in
+    ``exclude`` are skipped — ``save_sharded`` uses this to keep replica
+    copies out of shard directories, since replicas are rebuilt from
+    the primary (plus the map's replica sets) on load.
     """
     _check_layout(layout)
     if layout == "npz":
-        _write_store_contents_npz(store, target)
+        _write_store_contents_npz(store, target, exclude)
     else:
-        _write_store_contents_mmap(store, target, segment_size)
+        _write_store_contents_mmap(store, target, segment_size, exclude)
 
 
-def _write_store_contents_npz(store: SynopsisStore, target: Path) -> None:
+def _store_names(store: SynopsisStore, exclude: Optional[Set[str]]) -> List[str]:
+    if not exclude:
+        return store.names()
+    return [name for name in store.names() if name not in exclude]
+
+
+def _write_store_contents_npz(
+    store: SynopsisStore, target: Path, exclude: Optional[Set[str]] = None
+) -> None:
     """The legacy per-entry-npz layout, stamped at schema 3."""
     store_uid = uuid.uuid4().hex
     entries = []
-    for index, name in enumerate(store.names()):
+    for index, name in enumerate(_store_names(store, exclude)):
         entry = store[name]
         entry.hydrate()
         payload_name = f"entry-{index:04d}.npz"
@@ -299,14 +315,17 @@ def _write_store_contents_npz(store: SynopsisStore, target: Path) -> None:
 
 
 def _write_store_contents_mmap(
-    store: SynopsisStore, target: Path, segment_size: int
+    store: SynopsisStore,
+    target: Path,
+    segment_size: int,
+    exclude: Optional[Set[str]] = None,
 ) -> None:
     """The schema-4 segmented mmap layout."""
     segment_size = int(segment_size)
     if segment_size < 1:
         raise ValueError(f"segment_size must be >= 1, got {segment_size}")
     store_uid = uuid.uuid4().hex
-    names = store.names()
+    names = _store_names(store, exclude)
     segments = []
     for seg_index, start in enumerate(range(0, len(names), segment_size)):
         chunk = names[start : start + segment_size]
@@ -445,6 +464,15 @@ def save_sharded(
             # them all in index order cannot deadlock against them.
             for shard in router.shards:
                 stack.enter_context(shard.write_lock)
+            # Replica copies stay out of the shard directories: the map's
+            # replica sets are the source of truth, and load_sharded
+            # re-installs replicas from each primary.  Persisting the
+            # copies too would double-store payloads and, worse, let a
+            # stale replica resurrect as a primary under a future map.
+            replicas_by_shard: Dict[int, Set[str]] = {}
+            for name, replicas in router.shard_map.replica_sets().items():
+                for index in replicas:
+                    replicas_by_shard.setdefault(index, set()).add(name)
             shard_dirs = []
             for shard in router.shards:
                 shard_dir = f"shard-{shard.index:04d}"
@@ -454,6 +482,7 @@ def save_sharded(
                     tmp / shard_dir,
                     layout=layout,
                     segment_size=segment_size,
+                    exclude=replicas_by_shard.get(shard.index),
                 )
                 shard_dirs.append(shard_dir)
             manifest = {

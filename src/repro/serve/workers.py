@@ -41,6 +41,7 @@ Design points:
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import multiprocessing.connection
@@ -51,7 +52,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry, get_default_registry
-from .frontend import QueryRequest, QueryResult
+from .frontend import _COALESCIBLE, QueryRequest, QueryResult
 from .persistence import (
     StoreCorruptionError,
     _parse_record,
@@ -206,15 +207,19 @@ def decode_message(data: bytes) -> Any:
 
 def _worker_main(
     conn: multiprocessing.connection.Connection,
-    shard_dirs: List[str],
+    store_dir: str,
     cache_size: int,
     coalesce: bool,
 ) -> None:
     """Entry point of one worker process.
 
-    Loads the given shard directories (lazily — payloads mmap on first
-    query), builds a local router + front end over them, acknowledges
-    readiness, then answers commands until ``shutdown`` or EOF.
+    Loads the persisted store (lazily — payloads mmap on first query),
+    builds a local router + front end over it, acknowledges readiness,
+    then answers commands until ``shutdown`` or EOF.  Sharded stores
+    load through :func:`load_sharded`, so the worker's router carries
+    the *persisted* shard map — sticky assignments and replica sets
+    included — and a ``reload`` after an external rebalance picks the
+    new placement up from disk.
     """
     import os
 
@@ -223,8 +228,12 @@ def _worker_main(
     from .router import ShardRouter
 
     def build():
-        stores = [load_store(Path(d), lazy=True) for d in shard_dirs]
-        router = ShardRouter.from_stores(stores, cache_size=cache_size)
+        path = Path(store_dir)
+        if detect_store_format(path) == "sharded":
+            router = ShardRouter.load(path, cache_size=cache_size)
+        else:
+            store = load_store(path, lazy=True)
+            router = ShardRouter.from_stores([store], cache_size=cache_size)
         frontend = AsyncServingFrontend(router, coalesce=coalesce)
         return router, frontend
 
@@ -302,11 +311,10 @@ def _worker_main(
 class _Worker:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("index", "shard_dirs", "process", "conn", "restarts")
+    __slots__ = ("index", "process", "conn", "restarts")
 
-    def __init__(self, index: int, shard_dirs: List[Path]) -> None:
+    def __init__(self, index: int) -> None:
         self.index = index
-        self.shard_dirs = shard_dirs
         self.process = None
         self.conn = None
         self.restarts = 0
@@ -370,21 +378,26 @@ class ProcessShardRouter:
             raise ValueError(f"workers must be >= 1, got {requested}")
         self.num_workers = min(requested, shard_count)
         self._ctx = multiprocessing.get_context("spawn")
-        # Contiguous shard slices: worker w owns shards
-        # [w * S / W, (w+1) * S / W).
-        self._worker_of_shard: List[int] = []
-        slices: List[List[Path]] = [[] for _ in range(self.num_workers)]
-        for shard_index, shard_dir in enumerate(self._shard_dirs):
-            w = shard_index * self.num_workers // shard_count
-            self._worker_of_shard.append(w)
-            slices[w].append(shard_dir)
-        self._workers = [_Worker(w, slices[w]) for w in range(self.num_workers)]
+        self._compute_worker_of_shard()
+        # Round-robin cursor for replica fan-out across workers (mirrors
+        # the in-process front end's).
+        self._rr = itertools.count()
+        self._workers = [_Worker(w) for w in range(self.num_workers)]
         try:
             for worker in self._workers:
                 self._spawn(worker)
         except BaseException:
             self.close()
             raise
+
+    def _compute_worker_of_shard(self) -> None:
+        # Contiguous shard slices: worker w owns shards
+        # [w * S / W, (w+1) * S / W).
+        shard_count = len(self._shard_dirs)
+        self._worker_of_shard = [
+            shard_index * self.num_workers // shard_count
+            for shard_index in range(shard_count)
+        ]
 
     # ------------------------------------------------------------------ #
     # Parent-side metadata (manifests only — no payload reads)
@@ -397,17 +410,27 @@ class ProcessShardRouter:
             self._shard_dirs = [
                 self.store_dir / d for d in manifest["shard_dirs"]
             ]
-            assignments = manifest["shard_map"].get("assignments", {})
+            shard_map = manifest["shard_map"]
+            assignments = shard_map.get("assignments", {})
             self._shard_of_name = {
                 str(name): int(shard) for name, shard in assignments.items()
+            }
+            self._replicas_of_name = {
+                str(name): [int(index) for index in replicas]
+                for name, replicas in shard_map.get("replicas", {}).items()
+                if replicas
             }
             self.num_shards = int(manifest["num_shards"])
             name_order = list(self._shard_of_name)
         else:
             self._shard_dirs = [self.store_dir]
             self._shard_of_name = {}
+            self._replicas_of_name = {}
             self.num_shards = 1
             name_order = []
+        self._map_fingerprint = self._fingerprint(
+            self._shard_of_name, self._replicas_of_name
+        )
         self._records: Dict[str, Tuple[int, Dict[str, Any], Optional[BuildPlan]]] = {}
         for shard_index, shard_dir in enumerate(self._shard_dirs):
             for record in iter_manifest_entries(shard_dir):
@@ -478,6 +501,30 @@ class ProcessShardRouter:
             )
         return shard
 
+    def _route_shard(self, request: QueryRequest) -> int:
+        """Replica-aware routing: coalescible reads of a replicated
+        entry fan round-robin across primary + replica shards (hence
+        across worker processes); everything else goes to the primary."""
+        replicas = self._replicas_of_name.get(request.name)
+        if replicas and request.kind in _COALESCIBLE:
+            placements = [self._shard_index(request.name), *replicas]
+            return placements[next(self._rr) % len(placements)]
+        return self._shard_index(request.name)
+
+    @staticmethod
+    def _fingerprint(
+        shard_of_name: Dict[str, int], replicas_of_name: Dict[str, List[int]]
+    ) -> Tuple[Any, ...]:
+        return (
+            tuple(sorted(shard_of_name.items())),
+            tuple(
+                sorted(
+                    (name, tuple(replicas))
+                    for name, replicas in replicas_of_name.items()
+                )
+            ),
+        )
+
     # ------------------------------------------------------------------ #
     # Worker lifecycle
     # ------------------------------------------------------------------ #
@@ -495,7 +542,7 @@ class ProcessShardRouter:
             target=_worker_main,
             args=(
                 child_conn,
-                [str(d) for d in self._shard_dirs],
+                str(self.store_dir),
                 self.cache_size,
                 self.coalesce,
             ),
@@ -529,6 +576,13 @@ class ProcessShardRouter:
             )
         worker.restarts += 1
         self._c_restarts.inc()
+        # The labeled series makes *which* worker is crash-looping
+        # visible in the exposition, not just that one is.
+        self.registry.counter(
+            "worker_restarts_total",
+            "respawns of one worker process",
+            worker=str(worker.index),
+        ).inc()
         if worker.conn is not None:
             worker.conn.close()
         if worker.process is not None:
@@ -607,12 +661,49 @@ class ProcessShardRouter:
         ]
 
     def reload(self) -> None:
-        """Have every worker re-open the store directory from disk."""
+        """Re-open the store directory from disk, everywhere.
+
+        The parent re-reads the manifests (placement, replica sets,
+        entry metadata) and every worker rebuilds its router, so an
+        external rebalance — another process migrating entries and
+        saving — takes effect without respawning anything.
+        """
+        self._load_parent_records()
+        self._compute_worker_of_shard()
         message = encode_message({"cmd": "reload"})
         for worker in self._workers:
             self._send(worker, message)
         for worker in self._workers:
             self._recv(worker, message)
+
+    def maybe_reload(self) -> bool:
+        """Reload iff the persisted shard map changed; returns whether it
+        did.  This is the versioned-reload hook a rebalance loop polls:
+        cheap when nothing moved (one manifest read, no worker round
+        trips), a full :meth:`reload` when placement or replica sets
+        differ from what the parent routed by."""
+        try:
+            if detect_store_format(self.store_dir) != "sharded":
+                return False
+            manifest = read_sharded_manifest(self.store_dir)
+        except (StoreCorruptionError, OSError):
+            return False  # mid-publish or gone; keep serving the old map
+        shard_map = manifest["shard_map"]
+        fingerprint = self._fingerprint(
+            {
+                str(name): int(shard)
+                for name, shard in shard_map.get("assignments", {}).items()
+            },
+            {
+                str(name): [int(index) for index in replicas]
+                for name, replicas in shard_map.get("replicas", {}).items()
+                if replicas
+            },
+        )
+        if fingerprint == self._map_fingerprint:
+            return False
+        self.reload()
+        return True
 
     def warm(self) -> int:
         """Prefetch prefix tables in every worker; returns resident total."""
@@ -642,7 +733,7 @@ class ProcessShardRouter:
         self._c_requests.inc(len(indexed))
         by_worker: Dict[int, List[Tuple[int, QueryRequest]]] = {}
         for index, request in indexed:
-            w = self._worker_of_shard[self._shard_index(request.name)]
+            w = self._worker_of_shard[self._route_shard(request)]
             by_worker.setdefault(w, []).append((index, request))
         messages: Dict[int, bytes] = {}
         for w, items in by_worker.items():

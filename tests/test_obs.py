@@ -568,10 +568,19 @@ class TestShardedObservability:
 
     def test_reshard_counters(self):
         router, _ = _sharded_frontend(num_shards=2, entries=4)
+        # Growing preserves every sticky assignment, so no entry migrates.
         new = router.reshard(4)
         assert router.registry.get("router_reshards_total").value == 1
-        assert router.registry.get("router_entries_migrated_total").value == 4
+        assert router.registry.get("router_entries_migrated_total").value == 0
         assert new.registry is router.registry
+        # Shrinking to one shard moves everything that wasn't already there.
+        expected = sum(1 for n in new.names() if new.shard_map.shard_of(n) != 0)
+        new.reshard(1)
+        assert router.registry.get("router_reshards_total").value == 2
+        assert (
+            router.registry.get("router_entries_migrated_total").value
+            == expected
+        )
 
     def test_threaded_storm_loses_no_increments(self):
         """Satellite 3 + acceptance: exact counters under concurrency and

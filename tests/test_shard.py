@@ -749,7 +749,7 @@ class TestShardedCLI:
 
         assert main(["inspect", store_dir]) == 0
         out = capsys.readouterr().out
-        assert "repro-synopsis-store-sharded schema=1 shards=2" in out
+        assert "repro-synopsis-store-sharded schema=2 shards=2" in out
         assert "map merging -> shard" in out
         assert "shard-0000:" in out
 
@@ -918,3 +918,357 @@ class TestConcurrentRefreshWhileQuery:
             "no version ever advanced during the read phase; "
             "stress test did not stress"
         )
+
+
+# --------------------------------------------------------------------- #
+# Skew-aware placement: sticky reshard, live migration, read replication
+# --------------------------------------------------------------------- #
+
+
+class TestStickyReshard:
+    def test_growing_moves_nothing(self, pair):
+        """Satellite: reshard must preserve sticky assignments that still
+        name a live shard — growing the count is zero-movement."""
+        _, router = pair
+        before = router.shard_map.assignments()
+        wide = router.reshard(8)
+        assert wide.shard_map.assignments() == before
+        migrated = router.registry.get("router_entries_migrated_total")
+        assert migrated.value == 0
+
+    def test_deliberate_placement_survives_reshard(self, pair):
+        _, router = pair
+        name = NAMES[0]
+        target = (router.shard_map.shard_of(name) + 1) % 4
+        router.migrate(name, target)
+        wide = router.reshard(6)
+        assert wide.shard_map.shard_of(name) == target
+
+    def test_shrinking_moves_only_the_remainder(self, pair):
+        _, router = pair
+        before = router.shard_map.assignments()
+        survivors = {n for n, s in before.items() if s < 2}
+        narrow = router.reshard(2)
+        after = narrow.shard_map.assignments()
+        for name in survivors:
+            assert after[name] == before[name]
+        for name in set(before) - survivors:
+            assert after[name] == stable_shard(name, 2)
+        migrated = router.registry.get("router_entries_migrated_total")
+        assert migrated.value == len(before) - len(survivors)
+
+    def test_replica_sets_survive_reshard(self, pair):
+        _, router = pair
+        name = NAMES[0]
+        others = [i for i in range(4) if i != router.shard_map.shard_of(name)]
+        router.replicate(name, others[:2])
+        wide = router.reshard(6)
+        assert sorted(wide.replicas_of(name)) == sorted(others[:2])
+        # Shrinking drops replicas whose shard disappeared.
+        narrow = router.reshard(2)
+        kept = narrow.replicas_of(name)
+        assert all(i < 2 for i in kept)
+
+
+class TestMigrate:
+    def test_moves_entry_and_map_and_floor(self, pair):
+        engine, router = pair
+        name = NAMES[0]
+        source = router.shard_map.shard_of(name)
+        target = (source + 1) % 4
+        version = router[name].version
+        moved = router.migrate(name, target)
+        assert moved == [name]
+        assert router.shard_map.shard_of(name) == target
+        assert name not in router.shards[source].store
+        assert router[name].version == version
+        # The version floor moved with the entry: re-registering after a
+        # remove never reissues a served version.
+        router.remove(name)
+        entry = router.register(name, signal(seed=77), family="merging", k=5)
+        assert entry.version == version + 1
+
+    def test_answers_identical_after_migrate(self, pair):
+        engine, router = pair
+        name = NAMES[1]
+        router.migrate(name, (router.shard_map.shard_of(name) + 2) % 4)
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 240, 40)
+        b = rng.integers(0, 240, 40)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        np.testing.assert_array_equal(
+            router.range_sum(name, a, b), engine.range_sum(name, a, b)
+        )
+
+    def test_same_shard_is_noop(self, pair):
+        _, router = pair
+        name = NAMES[2]
+        here = router.shard_map.shard_of(name)
+        assert router.migrate(name, here) == []
+        assert router.registry.get("router_entries_migrated_total").value == 0
+
+    def test_unknown_name_and_bad_shard(self, pair):
+        _, router = pair
+        with pytest.raises(KeyError):
+            router.migrate("nope", 0)
+        with pytest.raises(ValueError):
+            router.migrate(NAMES[0], 4)
+
+    def test_batch_migrate_counts(self, pair):
+        _, router = pair
+        names = [n for n in NAMES if router.shard_map.shard_of(n) != 0][:3]
+        moved = router.migrate(names, 0)
+        assert moved == names
+        counter = router.registry.get("router_entries_migrated_total")
+        assert counter.value == len(names)
+
+    def test_migrating_onto_replica_promotes(self, pair):
+        _, router = pair
+        name = NAMES[3]
+        source = router.shard_map.shard_of(name)
+        target = (source + 1) % 4
+        router.replicate(name, target)
+        router.migrate(name, target)
+        assert router.shard_map.shard_of(name) == target
+        assert router.replicas_of(name) == []
+        assert name not in router.shards[source].store
+
+
+class TestReplication:
+    def test_replicated_reads_round_robin_with_parity(self, pair):
+        engine, router = pair
+        name = NAMES[0]
+        others = [i for i in range(4) if i != router.shard_map.shard_of(name)]
+        assert router.replicate(name, others) == others
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 240, 16)
+        b = rng.integers(0, 240, 16)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        expected = engine.range_sum(name, a, b)
+        with AsyncServingFrontend(router) as fe:
+            results = fe.serve(
+                [QueryRequest("range_sum", name, (a, b)) for _ in range(8)]
+            )
+        for result in results:
+            assert result.ok, result.error
+            np.testing.assert_array_equal(result.value, expected)
+        # The round-robin cursor visited every placement at least once.
+        reads = router.registry.get("frontend_replica_reads_total")
+        assert reads.value >= len(others)
+
+    def test_replicate_skips_primary_and_duplicates(self, pair):
+        _, router = pair
+        name = NAMES[1]
+        primary = router.shard_map.shard_of(name)
+        other = (primary + 1) % 4
+        assert router.replicate(name, [primary, other, other]) == [other]
+        assert router.replicas_of(name) == [other]
+        assert (
+            router.registry.get("router_entries_replicated_total").value == 1
+        )
+
+    def test_writes_propagate_to_replicas(self):
+        router = ShardRouter(num_shards=3)
+        rng = np.random.default_rng(6)
+        learner = StreamingHistogramLearner(n=120, k=4, refresh_factor=1.1)
+        learner.extend(rng.integers(0, 120, 400))
+        router.register_stream("live", learner)
+        primary = router.shard_map.shard_of("live")
+        replica = (primary + 1) % 3
+        router.replicate("live", replica)
+        before = router["live"].version
+        router.extend("live", rng.integers(0, 120, 4000))
+        after = router["live"].version
+        assert after > before
+        version, _table = router.shards[replica].engine.table_versioned("live")
+        assert version == after
+
+    def test_stale_replica_falls_back_to_primary(self):
+        """A refresh that bypasses the router's propagation (the window
+        between a primary write and its fan-out) must not serve stale:
+        the front end's version check recomputes on the primary."""
+        router = ShardRouter(num_shards=2)
+        rng = np.random.default_rng(7)
+        learner = StreamingHistogramLearner(n=120, k=4, refresh_factor=1.1)
+        learner.extend(rng.integers(0, 120, 400))
+        router.register_stream("live", learner)
+        primary = router.shard_map.shard_of("live")
+        replica = 1 - primary
+        router.replicate("live", replica)
+        # Write primary-only: extend the learner and refresh through the
+        # store, NOT through the router (no propagation).
+        learner.extend(rng.integers(0, 120, 4000))
+        fresh = router.shards[primary].store.refresh("live")
+        stale_version, _ = router.shards[replica].engine.table_versioned("live")
+        assert stale_version < fresh.version
+        with AsyncServingFrontend(router) as fe:
+            results = fe.serve(
+                [QueryRequest("range_sum", "live", (0, 119)) for _ in range(6)]
+            )
+        for result in results:
+            assert result.ok, result.error
+            assert result.version == fresh.version
+        fallbacks = router.registry.get(
+            "frontend_replica_stale_fallbacks_total"
+        )
+        assert fallbacks.value >= 1
+
+    def test_drop_replica(self, pair):
+        _, router = pair
+        name = NAMES[2]
+        other = (router.shard_map.shard_of(name) + 1) % 4
+        router.replicate(name, other)
+        assert router.drop_replica(name, other) is True
+        assert router.drop_replica(name, other) is False
+        assert router.replicas_of(name) == []
+        assert name not in router.shards[other].store
+        assert (
+            router.registry.get("router_replicas_dropped_total").value == 1
+        )
+
+    def test_remove_cleans_replicas(self, pair):
+        _, router = pair
+        name = NAMES[4]
+        other = (router.shard_map.shard_of(name) + 1) % 4
+        router.replicate(name, other)
+        router.remove(name)
+        assert router.replicas_of(name) == []
+        assert name not in router.shards[other].store
+
+    def test_replicas_round_trip_persistence(self, pair, tmp_path):
+        engine, router = pair
+        name = NAMES[0]
+        others = [i for i in range(4) if i != router.shard_map.shard_of(name)]
+        router.replicate(name, others[:2])
+        save_sharded(router, tmp_path / "replicated")
+        manifest = read_sharded_manifest(tmp_path / "replicated")
+        assert manifest["schema"] == SHARDED_SCHEMA_VERSION
+        assert sorted(manifest["shard_map"]["replicas"][name]) == sorted(
+            others[:2]
+        )
+        # Replica copies stay out of the shard directories; the primary
+        # is the one persisted copy.
+        for index in others[:2]:
+            shard_manifest = read_manifest_names(
+                tmp_path / "replicated" / f"shard-{index:04d}"
+            )
+            assert name not in shard_manifest
+        loaded = load_sharded(tmp_path / "replicated")
+        assert sorted(loaded.replicas_of(name)) == sorted(others[:2])
+        for index in others[:2]:
+            assert name in loaded.shards[index].store
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 240, 32)
+        b = rng.integers(0, 240, 32)
+        a, b = np.minimum(a, b), np.maximum(a, b)
+        np.testing.assert_array_equal(
+            loaded.range_sum(name, a, b), engine.range_sum(name, a, b)
+        )
+
+    def test_schema1_map_still_loads(self):
+        """Back-compat: a schema-1 shard-map payload (no replicas, no
+        map_version) must load with empty replica sets."""
+        payload = {
+            "kind": "shard_map",
+            "schema": 1,
+            "num_shards": 3,
+            "assignments": {"a": 1, "b": 2},
+        }
+        shard_map = ShardMap.from_dict(payload)
+        assert shard_map.shard_of("a") == 1
+        assert shard_map.replica_sets() == {}
+        assert shard_map.version == 0
+
+
+def read_manifest_names(shard_dir):
+    """Entry names recorded in one shard directory's manifest(s)."""
+    from repro.serve.persistence import iter_manifest_entries
+
+    return [str(rec["name"]) for rec in iter_manifest_entries(shard_dir)]
+
+
+@pytest.mark.slow
+class TestMigrationUnderLoad:
+    def test_zero_dropped_queries_and_consistent_snapshots(self):
+        """Satellite: a hot entry is queried continuously from the front
+        end while migrate() bounces it between shards; every answer must
+        succeed and match the synopsis of its reported (name, version)."""
+        rng = np.random.default_rng(11)
+        router = ShardRouter(num_shards=4)
+        names = ["hot", "warm-1", "warm-2"]
+        history = {}
+        for name in names:
+            learner = StreamingHistogramLearner(n=120, k=4, refresh_factor=1.2)
+            learner.extend(rng.integers(0, 120, 300))
+            entry = router.register_stream(name, learner)
+            history[(name, entry.version)] = entry.result.synopsis
+
+        stop = threading.Event()
+        mover_error = []
+        moves = [0]
+
+        def mover():
+            # Bounce the hot entry across all four shards, and keep a
+            # second writer-style mutation (refresh) in play so versions
+            # advance during the storm.
+            mrng = np.random.default_rng(12)
+            try:
+                while not stop.is_set():
+                    target = int(mrng.integers(4))
+                    if router.migrate("hot", target):
+                        moves[0] += 1
+                    if mrng.random() < 0.25:
+                        router.extend(
+                            "hot", mrng.integers(0, 120, 200)
+                        )
+                        entry = router["hot"]
+                        history[(entry.name, entry.version)] = (
+                            entry.result.synopsis
+                        )
+            except Exception as exc:  # pragma: no cover - fails the test
+                mover_error.append(exc)
+
+        collected = []
+
+        async def reader(fe):
+            qrng = np.random.default_rng(13)
+            for _ in range(200):
+                requests = []
+                args = []
+                for _ in range(10):
+                    name = "hot" if qrng.random() < 0.8 else (
+                        names[1 + int(qrng.integers(2))]
+                    )
+                    a = qrng.integers(0, 120, 16)
+                    b = qrng.integers(0, 120, 16)
+                    a, b = np.minimum(a, b), np.maximum(a, b)
+                    requests.append(QueryRequest("range_sum", name, (a, b)))
+                    args.append((a, b))
+                results = await fe.query_batch(requests)
+                for result, (a, b) in zip(results, args):
+                    collected.append(
+                        (result.name, result.version, a, b, result.value,
+                         result.error)
+                    )
+
+        thread = threading.Thread(target=mover)
+        thread.start()
+        try:
+            with AsyncServingFrontend(router) as fe:
+                asyncio.run(reader(fe))
+        finally:
+            stop.set()
+            thread.join()
+        assert not mover_error, mover_error
+        assert moves[0] > 0, "no migration ever happened; test did not stress"
+
+        dropped = [row for row in collected if row[5] is not None]
+        assert not dropped, f"{len(dropped)} queries dropped: {dropped[:3]}"
+        for name, version, a, b, value, _error in collected:
+            key = (name, version)
+            assert key in history, f"answer from unrecorded snapshot {key}"
+            np.testing.assert_array_equal(
+                value,
+                _expected_answers(history[key], a, b),
+                err_msg=f"inconsistent answer at {key}",
+            )

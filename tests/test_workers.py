@@ -192,11 +192,62 @@ class TestProcessShardRouter:
         # fresh process: same indices back, nothing lost or duplicated.
         prouter, _, requests, inproc = served
         before = prouter.restarts_total
+        labeled_before = prouter.registry.counter(
+            "worker_restarts_total",
+            "respawns of one worker process",
+            worker="0",
+        ).value
         prouter._workers[0].process.kill()
         got = prouter.serve(requests)
         assert [r.index for r in got] == [0, 1, 2, 3, 4]
         assert_results_match(got, inproc)
         assert prouter.restarts_total == before + 1
+        # Satellite: the respawn shows up in the per-worker labeled
+        # series (merged into the fleet registry), not just the total.
+        labeled = prouter.registry.get("worker_restarts_total", worker="0")
+        assert labeled.value == labeled_before + 1
+        merged = {
+            labels.get("worker"): metric.value
+            for name, labels, metric in prouter.collect_metrics().collect()
+            if name == "worker_restarts_total"
+        }
+        assert merged.get("0", 0) >= 1
+
+    def test_maybe_reload_tracks_persisted_map(self, tmp_path):
+        """An external rebalance (migrate + save) is picked up by the
+        versioned shard-map reload: placement updates, answers survive."""
+        router = build_router()
+        path = tmp_path / "sharded"
+        save_sharded(router, path)
+        with ProcessShardRouter(path, workers=2) as prouter:
+            assert prouter.maybe_reload() is False  # nothing changed
+            expected = prouter.range_sum("a", 0, 100)
+            old_shard = prouter._shard_index("a")
+            # Rebalance out-of-process: move "a" to the other shard and
+            # republish the store.
+            router.migrate("a", 1 - old_shard)
+            save_sharded(router, path)
+            assert prouter.maybe_reload() is True
+            assert prouter._shard_index("a") == 1 - old_shard
+            np.testing.assert_array_equal(
+                prouter.range_sum("a", 0, 100), expected
+            )
+            assert prouter.maybe_reload() is False  # idempotent
+
+    def test_replicated_store_serves_from_workers(self, tmp_path):
+        """Replica sets persist, load into the workers, and replicated
+        reads keep parity while fanning across worker processes."""
+        router = build_router()
+        router.replicate("a", 1 - router.shard_map.shard_of("a"))
+        path = tmp_path / "replicated"
+        save_sharded(router, path)
+        expected = router.range_sum("a", 0, 100)
+        with ProcessShardRouter(path, workers=2) as prouter:
+            assert prouter._replicas_of_name.get("a")
+            for _ in range(4):  # round-robin visits both placements
+                np.testing.assert_array_equal(
+                    prouter.range_sum("a", 0, 100), expected
+                )
 
     def test_plain_store_clamps_to_one_worker(self, tmp_path):
         values = np.abs(np.random.default_rng(5).normal(1.0, 0.5, 128)) + 1e-6
