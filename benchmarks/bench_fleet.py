@@ -1,0 +1,232 @@
+"""Benchmark: EXT-fleet — bulk cohort registration and budgeted residency.
+
+Fleet-scale serving stands on two claims, and this file measures both:
+
+* **bulk registration amortizes planning.**  ``register_many`` probes a
+  budget-compliant plan on one representative of the cohort and rides it
+  across every similar member, while a per-entry ``register_auto`` loop
+  re-runs the full candidate search per series.  The comparison times
+  both paths over the same cohort (default 10k series of 48 points; set
+  ``REPRO_BENCH_FLEET`` to shrink for smoke runs) and records the
+  ``plans_reused_total`` / ``plans_probed_total`` counter deltas so the
+  speedup can be attributed to plan reuse, not noise.
+* **a residency budget holds under a skewed read mix.**  A saved store
+  is lazily reloaded, capped with ``ResidencyManager``, and driven with
+  a Zipf-skewed query mix.  After every answer the resident-bytes gauge
+  must sit at or below the budget, no query may fail, and cold entries
+  must actually have been evicted (the budget is a fraction of the
+  hydrated total, so enforcement has to do real work).
+
+``test_register_many_amortizes_planning`` is the regression gate: on a
+cohort of >= 10k series, ``register_many`` must beat the per-entry loop
+by >= 3x (smaller smoke cohorts skip the ratio assert but still check
+plan reuse happened).  ``test_residency_budget_respected`` gates the
+second claim.  Every run refreshes ``BENCH_fleet.json`` at the repo
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import BuildBudget, QueryEngine, ResidencyManager, SynopsisStore
+from repro.obs import get_default_registry
+from repro.serve.persistence import load_store, save_store
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+FLEET_SIZE = int(os.environ.get("REPRO_BENCH_FLEET", "10000"))
+UNIVERSE = 48
+REGISTER_GATE = 3.0
+GATE_FLOOR = 10_000  # the speedup gate only applies at full fleet size
+
+RES_ENTRIES = 64
+RES_UNIVERSE = 2048
+RES_QUERIES = 400
+RES_BUDGET_ENTRIES = 10  # budget ~= this many resident entries
+
+
+def _fleet(count: int) -> list:
+    """``count`` similar series: one shape, per-member scale jitter."""
+    rng = np.random.default_rng(7)
+    base = np.abs(rng.normal(2.0, 0.4, UNIVERSE)) + 0.01
+    return [
+        (f"u{i}", base * rng.uniform(0.8, 1.25)) for i in range(count)
+    ]
+
+
+def _measure_register(count: int) -> dict:
+    pairs = _fleet(count)
+    budget = BuildBudget(max_bytes=400)
+    registry = get_default_registry()
+    probed = registry.counter("plans_probed_total")
+    reused = registry.counter("plans_reused_total")
+
+    loop_store = SynopsisStore()
+    start = time.perf_counter()
+    for name, values in pairs:
+        loop_store.register_auto(name, values, budget)
+    loop_s = time.perf_counter() - start
+
+    bulk_store = SynopsisStore()
+    probed0, reused0 = probed.value, reused.value
+    start = time.perf_counter()
+    bulk_store.register_many(pairs, budget, cohort="fleet")
+    bulk_s = time.perf_counter() - start
+
+    return {
+        "fleet_size": count,
+        "loop_register_s": loop_s,
+        "bulk_register_s": bulk_s,
+        "speedup_x": loop_s / bulk_s,
+        "plans_probed": probed.value - probed0,
+        "plans_reused": reused.value - reused0,
+    }
+
+
+def _measure_residency() -> dict:
+    rng = np.random.default_rng(11)
+    store = SynopsisStore()
+    for i in range(RES_ENTRIES):
+        # "exact" payloads are O(n): entries big enough that the budget
+        # genuinely forces evictions.
+        values = np.abs(rng.normal(1.0, 0.5, RES_UNIVERSE)) + 1e-6
+        store.register(f"series-{i:03d}", values, family="exact", k=1)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "fleet"
+        save_store(store, path, layout="mmap")
+        cold = load_store(path, lazy=True)
+
+        names = list(cold.names())
+        entry_bytes = max(
+            int(cold[name].describe()["stored_numbers"]) * 8 for name in names
+        )
+        budget = RES_BUDGET_ENTRIES * entry_bytes
+        manager = ResidencyManager(budget)
+        manager.watch(cold)
+        manager.enforce()
+
+        engine = QueryEngine(cold)
+        # Zipf-skewed mix: a hot head stays resident, the long tail
+        # churns through the budget.
+        picks = (rng.zipf(1.3, RES_QUERIES) - 1) % len(names)
+        failures = 0
+        max_resident = 0
+        start = time.perf_counter()
+        for pick in picks:
+            name = names[int(pick)]
+            try:
+                engine.range_sum(name, 4, RES_UNIVERSE - 4)
+            except Exception:
+                failures += 1
+            max_resident = max(
+                max_resident, cold.residency()["resident_bytes"]
+            )
+        elapsed = time.perf_counter() - start
+        row = cold.residency()
+        described = manager.describe()
+
+    return {
+        "entries": RES_ENTRIES,
+        "universe": RES_UNIVERSE,
+        "queries": RES_QUERIES,
+        "max_resident_bytes": budget,
+        "peak_resident_bytes": max_resident,
+        "final_resident_bytes": row["resident_bytes"],
+        "cold_entries": row["cold"],
+        "evictions": described["evictions"],
+        "failed_answers": failures,
+        "queries_per_s": RES_QUERIES / elapsed,
+    }
+
+
+def run_comparison(verbose: bool = True) -> dict:
+    register = _measure_register(FLEET_SIZE)
+    residency = _measure_residency()
+    payload = {
+        "benchmark": "bench_fleet",
+        "workload": (
+            f"{FLEET_SIZE} similar series (n={UNIVERSE}) bulk-registered; "
+            f"{RES_ENTRIES} exact entries (n={RES_UNIVERSE}) under a "
+            f"{RES_BUDGET_ENTRIES}-entry residency budget"
+        ),
+        "cpus": os.cpu_count(),
+        "gate": (
+            f"register_many >= {REGISTER_GATE}x faster than per-entry loop "
+            f"at >= {GATE_FLOOR} series; resident bytes <= budget with "
+            f"zero failed answers"
+        ),
+        "register": register,
+        "residency": residency,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    if verbose:
+        print(
+            f"\nbulk registration, {register['fleet_size']} series: "
+            f"loop {register['loop_register_s']:.2f}s  "
+            f"bulk {register['bulk_register_s']:.2f}s  "
+            f"({register['speedup_x']:.1f}x, "
+            f"{register['plans_reused']} reused / "
+            f"{register['plans_probed']} probed)"
+        )
+        print(
+            f"residency, {residency['entries']} entries under "
+            f"{residency['max_resident_bytes']} B: peak "
+            f"{residency['peak_resident_bytes']} B, "
+            f"{residency['evictions']} evictions, "
+            f"{residency['failed_answers']} failures, "
+            f"{residency['queries_per_s']:.0f} q/s"
+        )
+    return payload
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison()
+
+
+def test_register_many_amortizes_planning(comparison):
+    """Acceptance gate: bulk registration >= 3x over the per-entry loop
+    on a full-size cohort, with the bulk path reusing (not re-probing)
+    the cohort plan for nearly every member."""
+    register = comparison["register"]
+    assert register["plans_reused"] >= register["fleet_size"] * 0.9
+    assert register["plans_probed"] <= register["fleet_size"] * 0.1
+    if register["fleet_size"] < GATE_FLOOR:
+        pytest.skip(
+            f"speedup gate needs >= {GATE_FLOOR} series, "
+            f"ran {register['fleet_size']}"
+        )
+    assert register["speedup_x"] >= REGISTER_GATE, (
+        f"register_many only {register['speedup_x']:.1f}x faster"
+    )
+
+
+def test_residency_budget_respected(comparison):
+    """Acceptance gate: under a Zipf-skewed mix the resident-bytes gauge
+    never exceeds the budget, every query answers, and the budget forced
+    real evictions."""
+    residency = comparison["residency"]
+    assert residency["failed_answers"] == 0
+    assert residency["peak_resident_bytes"] <= residency["max_resident_bytes"]
+    assert residency["evictions"] > 0
+    assert residency["cold_entries"] > 0
+
+
+def test_results_file_written(comparison):
+    payload = json.loads(RESULTS_PATH.read_text())
+    assert payload["benchmark"] == "bench_fleet"
+    assert payload["register"]["fleet_size"] == FLEET_SIZE
+
+
+if __name__ == "__main__":
+    run_comparison()

@@ -32,9 +32,18 @@ into a queryable system:
   asyncio front end fanning multi-name query batches out per shard on a
   thread pool, coalescing same-entry requests, and reassembling answers
   in request order with per-answer snapshot versions.
+* :mod:`repro.serve.residency` — :class:`ResidencyManager`, tiered
+  residency under a global memory budget: hot entries stay hydrated,
+  cold ones cool back to their lazy mmap hydrators.
 * :mod:`repro.serve.cli` — the ``python -m repro serve`` / ``query`` /
   ``save`` / ``load`` / ``inspect`` subcommands (``--shards N`` shards
   transparently).
+
+Fleet-scale cohorts: :meth:`SynopsisStore.register_many` /
+:meth:`ShardRouter.register_many` bulk-register many series under one
+amortized :func:`plan_cohort` plan, optionally naming the batch as a
+*cohort* the group-by query kinds (``group_range_sum`` /
+``group_range_mean`` / ``group_top_k``) answer exactly in one call.
 """
 
 from .builders import (
@@ -44,6 +53,7 @@ from .builders import (
     BuildResult,
     FamilySpec,
     build_synopsis,
+    build_synopsis_many,
     family_spec,
     register_builder,
     register_synopsis_codec,
@@ -51,7 +61,15 @@ from .builders import (
     synopsis_size,
     synopsis_to_dict,
 )
-from .engine import CacheStats, PrefixTable, QueryEngine
+from .engine import (
+    GROUP_QUERY_KINDS,
+    CacheStats,
+    PrefixTable,
+    QueryEngine,
+    group_tables_range_mean,
+    group_tables_range_sum,
+    group_tables_top_k,
+)
 from .frontend import AsyncServingFrontend, QueryRequest, QueryResult
 from .planner import (
     BudgetInfeasibleError,
@@ -60,8 +78,10 @@ from .planner import (
     CandidateSpec,
     default_k_grid,
     plan_build,
+    plan_cohort,
     replan,
 )
+from .residency import ResidencyManager
 from .persistence import (
     LEARNER_KINDS,
     StoreCorruptionError,
@@ -74,7 +94,12 @@ from .persistence import (
 )
 from .loadstats import HotnessTracker, RebalanceAction, Rebalancer
 from .router import Shard, ShardMap, ShardRouter, stable_shard
-from .store import StoreEntry, StreamLearner, SynopsisStore
+from .store import (
+    StoreEntry,
+    StreamLearner,
+    SynopsisStore,
+    duplicate_entry_message,
+)
 
 __all__ = [
     "AsyncServingFrontend",
@@ -86,6 +111,7 @@ __all__ = [
     "CacheStats",
     "CandidateSpec",
     "FamilySpec",
+    "GROUP_QUERY_KINDS",
     "HotnessTracker",
     "LEARNER_KINDS",
     "PrefixTable",
@@ -94,6 +120,7 @@ __all__ = [
     "QueryResult",
     "RebalanceAction",
     "Rebalancer",
+    "ResidencyManager",
     "Shard",
     "ShardMap",
     "ShardRouter",
@@ -104,13 +131,19 @@ __all__ = [
     "SYNOPSIS_CODECS",
     "SYNOPSIS_FAMILIES",
     "build_synopsis",
+    "build_synopsis_many",
     "default_k_grid",
     "detect_store_format",
+    "duplicate_entry_message",
     "family_spec",
+    "group_tables_range_mean",
+    "group_tables_range_sum",
+    "group_tables_top_k",
     "learner_from_state",
     "load_sharded",
     "load_store",
     "plan_build",
+    "plan_cohort",
     "register_builder",
     "register_synopsis_codec",
     "replan",

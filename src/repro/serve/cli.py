@@ -18,6 +18,11 @@ directories are detected automatically)::
     topk <name> <m>           the m heaviest buckets
     inner <a> <b>             inner product of two stored synopses
     heavy <name> <phi>        sliding-window heavy hitters (windowed entries)
+    group sum <a> <b> <names...>    exact group range sum over a member set
+    group mean <a> <b> <names...>   exact group range mean over a member set
+    group topk <m> <names...>       the m heaviest buckets of the group
+    cohort                    list the defined cohorts
+    cohort <name> <members...>  define (or redefine) a named cohort
     summary                   store metadata
     inspect <name>            one entry: metadata, shard, cache counters
     plan <name>               an auto-planned entry's decision record
@@ -25,6 +30,16 @@ directories are detected automatically)::
     cache                     cache statistics (global + per entry)
     save <dir>                persist the store (atomic replace)
     quit                      exit
+
+The ``group`` commands answer over a *member set*: either the members
+listed inline, or a single cohort name (defined with the ``cohort``
+command, via ``register_many(..., cohort=...)``, or loaded from a
+persisted store's manifest).  ``--max-resident-bytes B`` attaches a
+:class:`~repro.serve.residency.ResidencyManager` to every shard store:
+hot entries stay hydrated, cold ones are cooled back to their lazy mmap
+hydrators whenever the combined resident payload exceeds B (lazy
+``--store-dir`` serving only; a fresh in-memory build has nothing to
+cool back to).
 
 ``--window W`` (on ``serve`` and ``save``) additionally registers a
 sliding-window streaming entry named ``windowed`` — a
@@ -100,6 +115,7 @@ from .persistence import (
 )
 from .loadstats import HotnessTracker, Rebalancer
 from .planner import BuildBudget
+from .residency import ResidencyManager
 from .router import ShardRouter
 from .store import SynopsisStore
 from .workers import ProcessShardRouter
@@ -313,7 +329,15 @@ def _save_router(
     """Persist a router: a one-shard router round-trips as a plain store,
     keeping single-shard deployments compatible with the unsharded layout."""
     if router.num_shards == 1:
-        router.shards[0].store.save(target, layout=layout, segment_size=segment_size)
+        # Router-level cohorts (REPL 'cohort' command, register_many at
+        # the router surface) live above the store; sync them down so the
+        # plain-layout manifest keeps them across the round trip.
+        store = router.shards[0].store
+        names = set(store.names())
+        for cohort, members in router.cohorts().items():
+            if all(member in names for member in members):
+                store.define_cohort(cohort, members)
+        store.save(target, layout=layout, segment_size=segment_size)
     else:
         router.save(target, layout=layout, segment_size=segment_size)
 
@@ -414,6 +438,16 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--num-queries", type=int, default=10_000)
     parser.add_argument("--show", type=int, default=5, help="answers to print")
+    parser.add_argument(
+        "--cohort",
+        type=int,
+        default=None,
+        metavar="N",
+        help="group-by benchmark: register N member series as one cohort "
+        "(bulk register_many with --family auto amortizes one plan over "
+        "the batch) and answer --kind range_sum/range_mean as exact "
+        "group queries over the whole cohort",
+    )
     _window_argument(parser)
     parser.add_argument(
         "--phi",
@@ -434,9 +468,16 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
             f"error: --window/--phi only apply to --kind heavy_hitters, "
             f"not {args.kind!r}"
         )
+    if args.cohort is not None and args.kind not in ("range_sum", "range_mean"):
+        raise SystemExit(
+            f"error: --cohort only applies to --kind range_sum/range_mean, "
+            f"not {args.kind!r}"
+        )
     values = _load_dataset(args.dataset, args.n, args.seed)
     if args.kind == "heavy_hitters":
         return _heavy_hitters_query(args, values)
+    if args.cohort is not None:
+        return _cohort_query(args, values)
     store = SynopsisStore()
     if args.family == "auto":
         try:
@@ -494,6 +535,71 @@ def query_main(argv: Optional[Sequence[str]] = None) -> int:
     shown = np.atleast_1d(answers)[: args.show]
     print(f"{args.kind} x {args.num_queries}: first {shown.size} answers: "
           + " ".join(f"{v:.6g}" for v in shown))
+    qps = args.num_queries / max(elapsed, 1e-12)
+    print(f"batched evaluation: {elapsed * 1e3:.3f}ms total, {qps:,.0f} queries/sec")
+    return 0
+
+
+def _cohort_query(args: argparse.Namespace, values: np.ndarray) -> int:
+    """The ``--cohort N`` path: bulk-register a member fleet, then answer
+    the query kind as an exact group query over the whole cohort."""
+    if args.cohort < 1:
+        raise SystemExit(f"--cohort must be positive, got {args.cohort}")
+    store = SynopsisStore()
+    names = [f"{args.dataset}#{i}" for i in range(args.cohort)]
+    reused = probed = None
+    try:
+        if args.family == "auto":
+            entries = store.register_many(
+                [(name, values) for name in names],
+                _budget_from_args(args),
+                cohort="cohort",
+            )
+            registry = get_default_registry()
+            reused = registry.counter("plans_reused_total").value
+            probed = registry.counter("plans_probed_total").value
+        else:
+            entries = [
+                store.register(name, values, family=args.family, k=args.k)
+                for name in names
+            ]
+            store.define_cohort("cohort", names)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    engine = QueryEngine(store)
+
+    rng = np.random.default_rng(args.seed + 1)
+    n = values.size
+    a = rng.integers(0, n, args.num_queries)
+    b = rng.integers(0, n, args.num_queries)
+    a, b = np.minimum(a, b), np.maximum(a, b)
+    method = (
+        engine.group_range_sum
+        if args.kind == "range_sum"
+        else engine.group_range_mean
+    )
+    try:
+        method(names, a, b)  # warm the prefix-table cache
+        with timer() as timed:
+            answers, _versions = method(names, a, b)
+        elapsed = timed.seconds
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    meta = entries[0].describe()
+    line = (
+        f"cohort of {args.cohort} members over {args.dataset!r}: "
+        f"family={meta['family']} n={meta['n']} pieces={meta['pieces']} "
+        f"stored={meta['stored_numbers']}/member"
+    )
+    if reused is not None:
+        line += f" plans: {reused} reused, {probed} probed"
+    print(line)
+    shown = np.atleast_1d(answers)[: args.show]
+    print(
+        f"group_{args.kind} x {args.num_queries}: first {shown.size} answers: "
+        + " ".join(f"{v:.6g}" for v in shown)
+    )
     qps = args.num_queries / max(elapsed, 1e-12)
     print(f"batched evaluation: {elapsed * 1e3:.3f}ms total, {qps:,.0f} queries/sec")
     return 0
@@ -635,10 +741,27 @@ def serve_main(
         help="decayed per-entry QPS above which reads replicate across "
         "shards (default: 2x --hot-qps)",
     )
+    parser.add_argument(
+        "--max-resident-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="tiered residency: cool the coldest lazily-loaded entries "
+        "back to their mmap hydrators whenever the shards' combined "
+        "resident payload bytes exceed B (in-process --store-dir "
+        "serving only)",
+    )
     args = parser.parse_args(argv)
     src = sys.stdin if stdin is None else stdin
     out = sys.stdout if stdout is None else stdout
 
+    if args.max_resident_bytes is not None and args.workers is not None:
+        # Payloads live in the worker processes; the parent has nothing
+        # resident to cool.
+        raise SystemExit(
+            "error: --max-resident-bytes is not supported with --workers "
+            "(each worker memory-maps its payloads already)"
+        )
     if args.workers is not None and args.store_dir is None:
         # Worker processes serve an immutable persisted store; a fresh
         # in-memory build has nothing on disk for them to map.
@@ -680,18 +803,29 @@ def serve_main(
         f"serving {len(router)} synopses of {source} on "
         f"{router.num_shards} shard(s){workers_note} "
         f"({', '.join(router.names())}); "
-        f"commands: range mean point cdf quantile topk inner heavy summary "
-        f"inspect plan shards cache metrics rebalance save quit",
+        f"commands: range mean point cdf quantile topk inner heavy group "
+        f"cohort summary inspect plan shards cache metrics rebalance save "
+        f"quit",
         file=out,
     )
     processes = isinstance(router, ProcessShardRouter)
     rebalancer = None
+    residency = None
     if not processes:
         rebalancer = Rebalancer(
             HotnessTracker(),
             hot_qps=args.hot_qps,
             replicate_qps=args.replicate_qps,
         )
+        if args.max_resident_bytes is not None:
+            # Share the rebalancer's tracker so the evictor and the
+            # placement policy agree on which entries are hot.
+            residency = ResidencyManager(
+                args.max_resident_bytes, tracker=rebalancer.tracker
+            )
+            for shard in router.shards:
+                residency.watch(shard.store)
+            residency.enforce()
 
     def _rebalance_once() -> list:
         """One policy pass (in-process) or map-reload check (--workers)."""
@@ -772,9 +906,20 @@ def serve_main(
                         )
                 else:
                     for shard in router.shards:
+                        row = shard.store.residency()
                         print(
                             f"shard {shard.index}: {len(shard.store)} entries "
-                            f"({', '.join(shard.store.names()) or '-'})",
+                            f"({', '.join(shard.store.names()) or '-'}) "
+                            f"hydrated={row['hydrated']} cold={row['cold']} "
+                            f"resident={row['resident_bytes']}B",
+                            file=out,
+                        )
+                    if residency is not None:
+                        info = residency.describe()
+                        print(
+                            f"residency: budget={info['max_resident_bytes']}B "
+                            f"resident={info['resident_bytes']}B "
+                            f"evictions={info['evictions']}",
                             file=out,
                         )
             elif cmd == "plan":
@@ -797,6 +942,51 @@ def serve_main(
                     print("(no heavy hitters)", file=out)
                 for pos, count in hitters:
                     print(f"{pos}: count>={count}", file=out)
+            elif cmd == "group":
+                sub = words[1].lower()
+                if sub in {"sum", "mean"}:
+                    a, b = int(words[2]), int(words[3])
+                    # One trailing word resolves as a cohort name (or a
+                    # comma list); several words are the members inline.
+                    spec = words[4:] if len(words) > 5 else words[4]
+                    method = (
+                        router.group_range_sum
+                        if sub == "sum"
+                        else router.group_range_mean
+                    )
+                    value, versions = method(spec, a, b)
+                    _print_answer(out, value)
+                    print(f"  group of {len(versions)} member(s)", file=out)
+                elif sub == "topk":
+                    m = int(words[2])
+                    spec = words[3:] if len(words) > 4 else words[3]
+                    buckets, versions = router.group_top_k(spec, m)
+                    for left, right, mass in buckets:
+                        print(f"[{left}, {right}] mass={mass:.12g}", file=out)
+                    print(f"  group of {len(versions)} member(s)", file=out)
+                else:
+                    raise ValueError(
+                        f"unknown group query {sub!r} "
+                        f"(expected sum, mean, or topk)"
+                    )
+            elif cmd == "cohort":
+                if len(words) == 1:
+                    cohorts = router.cohorts()
+                    if not cohorts:
+                        print("(no cohorts defined)", file=out)
+                    for name, members in sorted(cohorts.items()):
+                        print(f"{name}: {', '.join(members)}", file=out)
+                elif processes:
+                    raise ValueError(
+                        "cohort definition is not supported with --workers "
+                        "(persist the cohort in the store, or define it "
+                        "at registration time)"
+                    )
+                else:
+                    router.define_cohort(words[1], words[2:])
+                    print(
+                        f"cohort {words[1]}: {', '.join(words[2:])}", file=out
+                    )
             elif cmd == "range":
                 name, a, b = words[1], int(words[2]), int(words[3])
                 _print_answer(out, router.range_sum(name, a, b))
@@ -1069,6 +1259,18 @@ def _sorted_manifest_entries(entries: list, sort_by: str) -> list:
             )
         except (AttributeError, TypeError, ValueError):
             pass  # rotted records are reported entry by entry below
+    elif sort_by == "bytes":
+        # Largest payload first: the view an operator reads when a
+        # residency budget is under pressure and asks what to cool.
+        try:
+            entries.sort(
+                key=lambda r: int(r.get("result", {}).get("stored_numbers", 0))
+                if isinstance(r, dict)
+                else 0,
+                reverse=True,
+            )
+        except (AttributeError, TypeError, ValueError):
+            pass  # rotted records are reported entry by entry below
     return entries
 
 
@@ -1120,10 +1322,11 @@ def inspect_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--sort",
         default="manifest",
-        choices=["manifest", "error", "stored"],
+        choices=["manifest", "error", "stored", "bytes"],
         help="entry order: manifest order (default), by build error "
-        "(unmeasured errors sort last, never silently first), or by "
-        "stored size",
+        "(unmeasured errors sort last, never silently first), by "
+        "stored size ascending, or by payload bytes descending "
+        "(largest first: the residency-pressure view)",
     )
     parser.add_argument(
         "--name",

@@ -73,7 +73,18 @@ _ARG_FORMS: Dict[str, str] = {
     # args = (phi,): sliding-window heavy hitters of a windowed
     # streaming entry (answered by the live learner, not a prefix table).
     "heavy_hitters": "(phi,)",
+    # Group-by kinds: ``name`` addresses a member *set* — a registered
+    # cohort name, a comma-separated name list, or one entry name (see
+    # ShardRouter.resolve_members).  The answer's ``version`` is a
+    # ``{member: version}`` dict, one snapshot version per member.
+    "group_range_sum": "(a, b)",
+    "group_range_mean": "(a, b)",
+    "group_top_k": "(m,)",
 }
+
+# Kinds served by the router's cross-shard group fan-out rather than a
+# single shard's engine.
+_GROUP_KINDS = ("group_range_sum", "group_range_mean", "group_top_k")
 
 # kind -> number of positional query arguments
 QUERY_KINDS: Dict[str, int] = {
@@ -137,13 +148,17 @@ class QueryRequest:
 
 @dataclass
 class QueryResult:
-    """One answer, tagged with the snapshot version that produced it."""
+    """One answer, tagged with the snapshot version that produced it.
+
+    For group-by kinds ``version`` is a ``{member: version}`` dict — one
+    snapshot version per cohort member — instead of a single int.
+    """
 
     index: int
     name: str
     kind: str
     value: Any = None
-    version: int = -1
+    version: Any = -1
     error: Optional[str] = None
 
     @property
@@ -373,7 +388,13 @@ class AsyncServingFrontend:
         self._h_batch_size.observe(max(len(indexed), 1))
         with trace.span("route", requests=len(indexed)):
             by_shard: Dict[int, List[Tuple[int, QueryRequest]]] = {}
+            group_items: List[Tuple[int, QueryRequest]] = []
             for index, request in indexed:
+                if request.kind in _GROUP_KINDS:
+                    # Group kinds span shards; they run as their own
+                    # pool job instead of landing on any one shard.
+                    group_items.append((index, request))
+                    continue
                 by_shard.setdefault(self._route(request), []).append(
                     (index, request)
                 )
@@ -388,6 +409,12 @@ class AsyncServingFrontend:
             )
             for s, items in by_shard.items()
         ]
+        if group_items:
+            jobs.append(
+                loop.run_in_executor(
+                    self._executor, self._serve_groups, group_items, trace
+                )
+            )
         gathered = await asyncio.gather(*jobs)
         with trace.span("reassemble"):
             results: List[Optional[QueryResult]] = [None] * len(indexed)
@@ -447,6 +474,73 @@ class AsyncServingFrontend:
         return await loop.run_in_executor(
             self._executor,
             lambda: self.router.register_auto(name, data, budget, **plan_options),
+        )
+
+    async def register_many(
+        self, named_datasets, budget, **plan_options: Any
+    ) -> List[StoreEntry]:
+        """Bulk-register a cohort (see ``ShardRouter.register_many``),
+        off the event loop — one amortized plan covers the whole batch.
+        ``cohort=``, ``families=``, ``k_grid=`` pass through."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: self.router.register_many(
+                named_datasets, budget, **plan_options
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Group-by evaluation (runs on the thread pool)
+    # ------------------------------------------------------------------ #
+
+    def _serve_groups(
+        self,
+        items: List[Tuple[int, QueryRequest]],
+        trace: Optional[TraceContext] = None,
+    ) -> List[QueryResult]:
+        if trace is not None:
+            with trace.bound():
+                return self._serve_groups_inner(items)
+        return self._serve_groups_inner(items)
+
+    def _serve_groups_inner(
+        self, items: List[Tuple[int, QueryRequest]]
+    ) -> List[QueryResult]:
+        with span("evaluate_groups", requests=len(items)):
+            return [self._serve_group_one(index, req) for index, req in items]
+
+    def _serve_group_one(
+        self, index: int, request: QueryRequest
+    ) -> QueryResult:
+        """One group-by request through the router's cross-shard fan-out.
+
+        The result's ``version`` is the per-member ``{name: version}``
+        dict, so a caller can attribute every contribution to a
+        consistent member snapshot.  Member request counters tick once
+        per member, mirroring what N individual reads would record.
+        """
+        try:
+            members = self.router.resolve_members(request.name)
+            value, versions = getattr(self.router, request.kind)(
+                members, *request.args
+            )
+        except _REQUEST_ERRORS as exc:
+            return QueryResult(
+                index=index, name=request.name, kind=request.kind, error=str(exc)
+            )
+        for member in members:
+            self.registry.counter(
+                "frontend_entry_requests_total",
+                "requests addressed to the entry",
+                entry=member,
+            ).inc()
+        return QueryResult(
+            index=index,
+            name=request.name,
+            kind=request.kind,
+            value=value,
+            version=versions,
         )
 
     # ------------------------------------------------------------------ #

@@ -55,7 +55,10 @@ family, k, options, error, version, streaming counters, and the
 serialized :class:`~repro.serve.planner.BuildPlan` decision record of
 auto-planned entries — so a store loads *lazily*: :func:`load_store`
 materializes only the manifest(s), and each entry's payload hydrates on
-its first query (or eagerly with ``lazy=False``).
+its first query (or eagerly with ``lazy=False``).  Stores (schema 5) and
+sharded parents (schema 3) may additionally carry a ``"cohorts"`` table
+naming registered entry groups for group-by queries; saves without
+cohorts keep the previous schema stamp so older readers load them.
 
 Writes are crash-safe: everything lands in a temporary sibling directory
 first and the final directory is swapped in by rename, so a failed or
@@ -133,7 +136,11 @@ STORE_FORMAT = "repro-synopsis-store"
 # segment's memory-mappable ``.bin`` file.  ``layout="npz"`` still
 # writes the schema-3 per-entry-npz layout, and schema 1-3 stores load
 # unchanged; loaders older than the bump refuse newer stores cleanly.
-STORE_SCHEMA_VERSION = 4
+# Schema 5 (fleet cohorts): the top-level manifest may carry a
+# ``"cohorts"`` table mapping cohort names to member-entry lists.  The
+# layout is otherwise schema 4, and a save with no cohorts still stamps
+# schema 4, so cohort-less stores remain loadable by older readers.
+STORE_SCHEMA_VERSION = 5
 MMAP_SCHEMA_VERSION = 4
 NPZ_SCHEMA_VERSION = 3
 SHARDED_FORMAT = "repro-synopsis-store-sharded"
@@ -141,7 +148,10 @@ SHARDED_FORMAT = "repro-synopsis-store-sharded"
 # (skew-aware placement).  Schema-1 parent manifests still load — the
 # new fields default to empty — and loaders older than the bump refuse
 # newer stores cleanly, exactly like the per-store schema history.
-SHARDED_SCHEMA_VERSION = 2
+# Sharded schema 3: the parent manifest may carry a router-level
+# ``"cohorts"`` table (members may span shards).  Schema 1-2 manifests
+# load unchanged with no cohorts.
+SHARDED_SCHEMA_VERSION = 3
 
 #: Entries per segment in the mmap layout.  Small enough that selective
 #: loads of a million-entry store touch a sliver of it, large enough
@@ -291,6 +301,19 @@ def _store_names(store: SynopsisStore, exclude: Optional[Set[str]]) -> List[str]
     return [name for name in store.names() if name not in exclude]
 
 
+def _saveable_cohorts(
+    store: SynopsisStore, exclude: Optional[Set[str]]
+) -> Dict[str, List[str]]:
+    """The store's cohort table restricted to members this save writes."""
+    saved = set(_store_names(store, exclude))
+    cohorts = {}
+    for cohort, members in store.cohorts().items():
+        kept = [name for name in members if name in saved]
+        if kept:
+            cohorts[cohort] = kept
+    return cohorts
+
+
 def _write_store_contents_npz(
     store: SynopsisStore, target: Path, exclude: Optional[Set[str]] = None
 ) -> None:
@@ -310,6 +333,10 @@ def _write_store_contents_npz(
         "entries": entries,
         "last_versions": dict(store._last_versions),
     }
+    cohorts = _saveable_cohorts(store, exclude)
+    if cohorts:
+        # Additive key: schema stays 3, older readers ignore it.
+        manifest["cohorts"] = cohorts
     with open(target / MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=1)
 
@@ -355,15 +382,20 @@ def _write_store_contents_mmap(
                 "names": chunk,
             }
         )
+    cohorts = _saveable_cohorts(store, exclude)
     manifest = {
         "format": STORE_FORMAT,
-        "schema": MMAP_SCHEMA_VERSION,
+        # Cohort-less stores stamp schema 4 so readers predating the
+        # cohort bump keep loading them; the layout is identical.
+        "schema": STORE_SCHEMA_VERSION if cohorts else MMAP_SCHEMA_VERSION,
         "layout": "mmap",
         "store_uid": store_uid,
         "segment_size": segment_size,
         "segments": segments,
         "last_versions": dict(store._last_versions),
     }
+    if cohorts:
+        manifest["cohorts"] = cohorts
     with open(target / MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=1)
 
@@ -485,13 +517,23 @@ def save_sharded(
                     exclude=replicas_by_shard.get(shard.index),
                 )
                 shard_dirs.append(shard_dir)
+            cohorts = {
+                cohort: list(members)
+                for cohort, members in router.cohorts().items()
+            }
+            # Cohort-less routers stamp the previous schema so readers
+            # older than the cohort bump keep loading them.
             manifest = {
                 "format": SHARDED_FORMAT,
-                "schema": SHARDED_SCHEMA_VERSION,
+                "schema": SHARDED_SCHEMA_VERSION
+                if cohorts
+                else SHARDED_SCHEMA_VERSION - 1,
                 "num_shards": router.num_shards,
                 "shard_dirs": shard_dirs,
                 "shard_map": router.shard_map.to_dict(),
             }
+            if cohorts:
+                manifest["cohorts"] = cohorts
         with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=1)
         _atomic_publish(tmp, path, token)
@@ -802,6 +844,40 @@ def _parse_record(record: Any, path: Path) -> Tuple[Any, ...]:
     return name, version, result, built_at_samples, frozen_meta, plan
 
 
+def _parse_cohorts(
+    manifest: Dict[str, Any], path: Path
+) -> Dict[str, List[str]]:
+    """Validate a manifest's optional ``cohorts`` table (either format)."""
+    raw = manifest.get("cohorts")
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise StoreCorruptionError(f"invalid cohorts table in {path}")
+    cohorts: Dict[str, List[str]] = {}
+    for cohort, members in raw.items():
+        if (
+            not isinstance(cohort, str)
+            or not isinstance(members, list)
+            or not members
+            or not all(isinstance(member, str) for member in members)
+        ):
+            raise StoreCorruptionError(
+                f"invalid cohorts table in {path}: cohort {cohort!r} must "
+                f"map to a non-empty list of entry names"
+            )
+        cohorts[cohort] = list(members)
+    return cohorts
+
+
+def _adopt_cohorts(define, cohorts: Dict[str, List[str]], loaded) -> None:
+    """Install the cohorts whose members all loaded (selective loads drop
+    cohorts referencing entries outside the selection)."""
+    present = set(loaded)
+    for cohort, members in cohorts.items():
+        if all(member in present for member in members):
+            define(cohort, members)
+
+
 def _parse_last_versions(manifest: Dict[str, Any], path: Path) -> Dict[str, int]:
     raw_versions = manifest.get("last_versions") or {}
     if not isinstance(raw_versions, dict):
@@ -851,6 +927,7 @@ def load_store(
                 f"store {path} has no entries named "
                 f"{', '.join(sorted(repr(m) for m in missing))}"
             )
+    _adopt_cohorts(store.define_cohort, _parse_cohorts(manifest, path), store.names())
     # Names that were removed after their last registration keep their
     # version floor, so re-registering them never reissues a served version.
     for name, last in last_versions.items():
@@ -1075,8 +1152,14 @@ def load_sharded(
         stores.append(load_store(shard_path, lazy=lazy))
     cls = ShardRouter if router_cls is None else router_cls
     try:
-        return cls.from_stores(stores, shard_map=shard_map, cache_size=cache_size)
+        router = cls.from_stores(
+            stores, shard_map=shard_map, cache_size=cache_size
+        )
     except ValueError as exc:
         raise StoreCorruptionError(
             f"inconsistent sharded store {path}: {exc}"
         ) from exc
+    _adopt_cohorts(
+        router.define_cohort, _parse_cohorts(manifest, path), router.names()
+    )
+    return router

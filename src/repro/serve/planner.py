@@ -74,6 +74,7 @@ from .builders import (
     SYNOPSIS_FAMILIES,
     BuildResult,
     build_synopsis,
+    build_synopsis_many,
     family_spec,
 )
 
@@ -85,6 +86,7 @@ __all__ = [
     "CandidateSpec",
     "default_k_grid",
     "plan_build",
+    "plan_cohort",
     "replan",
 ]
 
@@ -709,6 +711,111 @@ def plan_build(
         chosen_index=incumbent,
         result=incumbent_result,
     )
+
+
+def _member_plan(representative: BuildPlan, result: BuildResult) -> BuildPlan:
+    """A cohort member's plan, derived from the representative's record.
+
+    The member reuses the representative's exploration (every candidate
+    line, chosen index, budget, grid) but its chosen candidate carries
+    the *member's own* measured build — size, error, pieces, wall time —
+    and ``plan.n`` is the member's length, so the record never claims
+    measurements the member's data did not produce.
+    """
+    plan = BuildPlan.from_dict(representative.to_dict())
+    chosen = plan.chosen
+    chosen.status = "built"
+    chosen.feasible = True
+    chosen.violations = []
+    chosen.stored_numbers = result.stored_numbers
+    chosen.nbytes = result.stored_numbers * BYTES_PER_NUMBER
+    chosen.error = result.error
+    chosen.build_ms = result.build_seconds * 1e3
+    chosen.pieces = result.pieces
+    plan.n = result.n
+    plan.result = result
+    return plan
+
+
+def plan_cohort(
+    named_datasets: "Union[Dict[str, Any], Sequence[Tuple[str, Any]]]",
+    budget: BuildBudget,
+    families: Optional[Sequence[str]] = None,
+    k_grid: Optional[Sequence[int]] = None,
+    options: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[Tuple[str, BuildPlan]]:
+    """Plan a whole cohort of series with one amortized grid probe.
+
+    Fleet registration's planning step: the first series (the
+    *representative*) gets a full :func:`plan_build` over the grid; every
+    remaining member is built once with the representative's chosen
+    ``(family, k, options)`` via :func:`build_synopsis_many` and, when
+    its measured build satisfies the budget (``budget.violations`` is
+    empty), reuses the representative's plan with its own measured
+    metrics spliced into the chosen candidate.  Only members whose
+    reused build *violates* the budget escalate to their own full
+    :func:`plan_build` probe — so a cohort of similar series costs one
+    grid scan plus one build per member instead of one grid scan per
+    member.
+
+    ``plans_probed_total`` counts full grid probes (representative plus
+    escalations) and ``plans_reused_total`` counts members that rode the
+    representative's plan; their ratio is the amortization win.
+
+    Returns ``[(name, plan), ...]`` in input order, each plan carrying
+    the member's built result in ``plan.result``.  Raises
+    :exc:`BudgetInfeasibleError` if the representative or any escalated
+    member certifies infeasibility, and :exc:`ValueError` on an empty
+    cohort or duplicate names within it.
+    """
+    if hasattr(named_datasets, "items"):
+        items = [(str(name), data) for name, data in named_datasets.items()]
+    else:
+        items = [(str(name), data) for name, data in named_datasets]
+    if not items:
+        raise ValueError("plan_cohort needs at least one (name, data) pair")
+    seen: set = set()
+    for name, _ in items:
+        if name in seen:
+            raise ValueError(f"duplicate name {name!r} in the cohort")
+        seen.add(name)
+    registry = get_default_registry()
+    probed = registry.counter(
+        "plans_probed_total",
+        "cohort members planned with a full grid probe",
+    )
+    reused = registry.counter(
+        "plans_reused_total",
+        "cohort members that reused the representative's plan",
+    )
+
+    rep_name, rep_data = items[0]
+    rep_plan = plan_build(
+        rep_data, budget, families=families, k_grid=k_grid, options=options
+    )
+    probed.inc()
+    plans: List[Tuple[str, BuildPlan]] = [(rep_name, rep_plan)]
+    if len(items) == 1:
+        return plans
+
+    chosen = rep_plan.chosen
+    member_results = build_synopsis_many(
+        (data for _, data in items[1:]),
+        chosen.family,
+        chosen.k,
+        **dict(chosen.options),
+    )
+    for (name, data), result in zip(items[1:], member_results):
+        if budget.violations(result):
+            plan = plan_build(
+                data, budget, families=families, k_grid=k_grid, options=options
+            )
+            probed.inc()
+        else:
+            plan = _member_plan(rep_plan, result)
+            reused.inc()
+        plans.append((name, plan))
+    return plans
 
 
 def replan(plan: BuildPlan, q: Union[np.ndarray, SparseFunction]) -> BuildPlan:

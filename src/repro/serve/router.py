@@ -28,8 +28,10 @@ actually serves.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -39,9 +41,15 @@ from ..core.serialize import check_payload_tag
 from ..core.sparse import SparseFunction
 from ..obs.metrics import MetricsRegistry
 from ..sampling.streaming import StreamingHistogramLearner
-from .engine import PrefixTable, QueryEngine
-from .planner import BuildBudget, BuildPlan
-from .store import StoreEntry, SynopsisStore
+from .engine import (
+    PrefixTable,
+    QueryEngine,
+    group_tables_range_mean,
+    group_tables_range_sum,
+    group_tables_top_k,
+)
+from .planner import BuildBudget, BuildPlan, plan_cohort
+from .store import StoreEntry, SynopsisStore, duplicate_entry_message
 
 __all__ = ["Shard", "ShardMap", "ShardRouter", "stable_shard"]
 
@@ -132,6 +140,25 @@ class ShardMap:
             self._assignments[name] = shard
             self.version += 1
         return shard
+
+    def assign_many(self, names: Sequence[str]) -> Dict[str, int]:
+        """Record assignments for a whole batch under one version bump.
+
+        The fleet-registration path: a 100k-series cohort moves the map
+        one generation forward, not 100k, so process workers watching the
+        version reload once per bulk registration.
+        """
+        placed: Dict[str, int] = {}
+        changed = False
+        for name in names:
+            shard = self.shard_of(name)
+            if self._assignments.get(name) != shard:
+                self._assignments[name] = shard
+                changed = True
+            placed[name] = shard
+        if changed:
+            self.version += 1
+        return placed
 
     def assign_to(self, name: str, shard: int) -> None:
         """Record an explicit placement for ``name`` (the migration path).
@@ -232,6 +259,11 @@ def _replica_entry(primary: StoreEntry) -> StoreEntry:
     primary — writes (refresh / extend) are primary-first, and
     :meth:`ShardRouter._propagate` copies the bumped ``(result, version)``
     pair onto each replica afterwards.
+
+    Both sides are pinned against residency cooling: the shared result
+    means cooling either copy would silently drop the payload under the
+    other store, whose hydration state still claims it is resident.  The
+    primary unpins when its last replica is dropped.
     """
     replica = StoreEntry(
         name=primary.name,
@@ -242,6 +274,8 @@ def _replica_entry(primary: StoreEntry) -> StoreEntry:
         plan=primary.plan,
         frozen_meta=primary.frozen_meta,
     )
+    replica.pinned = True
+    primary.pinned = True
     if not primary.is_hydrated:
         replica.hydrator = lambda _entry, _primary=primary: _primary.hydrate()
     return replica
@@ -310,6 +344,10 @@ class ShardRouter:
         self._c_replica_drops = self.registry.counter(
             "router_replicas_dropped_total", "read replicas removed"
         )
+        # Router-level cohorts: members may span shards, so the name
+        # registry lives here, not in any single shard store.
+        self._cohorts: Dict[str, Tuple[str, ...]] = {}
+        self._cohort_lock = threading.Lock()
         self.shards: List[Shard] = [
             self._make_shard(
                 index, SynopsisStore() if stores is None else stores[index]
@@ -375,6 +413,13 @@ class ShardRouter:
             # (each shard dir holds only the entries it owns), so rebuild
             # them here from the map's replica sets.
             router._install_replicas()
+        # Adopt store-level cohorts whose members all resolve — the
+        # one-shard plain-store load path; a sharded load layers the
+        # parent manifest's router-level cohorts on top.
+        for store in stores:
+            for cohort, members in store.cohorts().items():
+                if all(member in router for member in members):
+                    router.define_cohort(cohort, members)
         return router
 
     def _install_replicas(self) -> None:
@@ -486,6 +531,55 @@ class ShardRouter:
         self._propagate(name)
         return entry
 
+    def register_many(
+        self,
+        named_datasets: Any,
+        budget: BuildBudget,
+        cohort: Optional[str] = None,
+        families: Optional[Sequence[str]] = None,
+        k_grid: Optional[Sequence[int]] = None,
+        **plan_options: Any,
+    ) -> List[StoreEntry]:
+        """Bulk auto-planned registration across shards.
+
+        Planning is amortized over the whole batch first (see
+        :func:`~repro.serve.planner.plan_cohort`); then every involved
+        shard's write lock is taken (in index order, so the batch cannot
+        deadlock against a concurrent sharded save) and the map absorbs
+        all assignments under **one** version bump before the entries are
+        installed shard by shard.  A duplicate name or an infeasible
+        member aborts before anything is installed.  With ``cohort=...``
+        the batch is also registered as a router-level cohort for
+        group-by queries.  Returns the entries in input order.
+        """
+        if hasattr(named_datasets, "items"):
+            items = [(str(n), d) for n, d in named_datasets.items()]
+        else:
+            items = [(str(n), d) for n, d in named_datasets]
+        for name, _ in items:
+            if name in self:
+                raise ValueError(duplicate_entry_message(name))
+        planned = plan_cohort(
+            items, budget, families=families, k_grid=k_grid, **plan_options
+        )
+        names = [name for name, _ in planned]
+        plans = dict(planned)
+        groups = self.group_by_shard(names)
+        entries: Dict[str, StoreEntry] = {}
+        with contextlib.ExitStack() as stack:
+            for index in sorted(groups):
+                stack.enter_context(self.shards[index].write_lock)
+            self.shard_map.assign_many(names)
+            for index, group in groups.items():
+                store = self.shards[index].store
+                for name in group:
+                    entries[name] = store._install_planned(name, plans[name])
+        for name in names:
+            self._propagate(name)
+        if cohort is not None:
+            self.define_cohort(cohort, names)
+        return [entries[name] for name in names]
+
     def plan_of(self, name: str) -> Optional[BuildPlan]:
         """The persisted decision record of ``name`` (None if not planned)."""
         return self._shard_for_registered(name).store[name].plan
@@ -511,6 +605,14 @@ class ShardRouter:
             self.drop_replica(name, index)
         with shard.write_lock:
             shard.store.remove(name)
+        with self._cohort_lock:
+            for cohort in list(self._cohorts):
+                members = tuple(m for m in self._cohorts[cohort] if m != name)
+                if members != self._cohorts[cohort]:
+                    if members:
+                        self._cohorts[cohort] = members
+                    else:
+                        del self._cohorts[cohort]
         # The engines dropped their per-shard series via the store's
         # removal listener; this sweeps layer-agnostic per-entry series
         # too (the front end's request counter), so exposition does not
@@ -612,6 +714,71 @@ class ShardRouter:
             meta["replicas"] = replicas
         return meta
 
+    def residency(self) -> Dict[str, int]:
+        """Hydrated vs cold counts and resident bytes summed over shards."""
+        totals = {"entries": 0, "hydrated": 0, "cold": 0, "resident_bytes": 0}
+        for shard in self.shards:
+            row = shard.store.residency()
+            for key in totals:
+                totals[key] += row[key]
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # Cohorts (router-level: members may span shards)
+    # ------------------------------------------------------------------ #
+
+    def define_cohort(self, cohort: str, members: Any) -> None:
+        """Name an ordered member list for group-by queries.
+
+        Every member must be a registered entry (on any shard);
+        redefinition replaces the previous list.  Cohorts persist in the
+        sharded parent manifest.
+        """
+        names = [str(m) for m in members]
+        if not names:
+            raise ValueError("a cohort needs at least one member")
+        missing = [m for m in names if m not in self]
+        if missing:
+            raise KeyError(
+                f"cohort {cohort!r} references unknown entries: "
+                f"{', '.join(missing)}"
+            )
+        with self._cohort_lock:
+            self._cohorts[str(cohort)] = tuple(names)
+
+    def cohorts(self) -> Dict[str, Tuple[str, ...]]:
+        """All defined cohorts as ``{name: (member, ...)}``."""
+        with self._cohort_lock:
+            return dict(self._cohorts)
+
+    def cohort_members(self, cohort: str) -> Tuple[str, ...]:
+        """The ordered member names of a defined cohort."""
+        with self._cohort_lock:
+            try:
+                return self._cohorts[cohort]
+            except KeyError:
+                raise KeyError(
+                    f"no cohort named {cohort!r}; defined: "
+                    f"{', '.join(self._cohorts) or '(none)'}"
+                ) from None
+
+    def resolve_members(self, spec: Any) -> List[str]:
+        """Member names for a group query target.
+
+        A string resolves as a cohort name first, then as a
+        comma-separated name list, then as one bare entry name; any
+        non-string iterable is taken as the member list itself.
+        """
+        if isinstance(spec, str):
+            with self._cohort_lock:
+                members = self._cohorts.get(spec)
+            if members is not None:
+                return list(members)
+            if "," in spec:
+                return [part.strip() for part in spec.split(",") if part.strip()]
+            return [spec]
+        return [str(name) for name in spec]
+
     def warm(self, names: Optional[Sequence[str]] = None) -> int:
         """Prefetch prefix tables shard by shard; returns tables resident
         across the whole router (including shards this call didn't touch)."""
@@ -682,6 +849,74 @@ class ShardRouter:
         return table_a.inner_product(table_b)
 
     # ------------------------------------------------------------------ #
+    # Group-by queries (fan out across shards, closed-form fan-in)
+    # ------------------------------------------------------------------ #
+
+    def _group_tables(
+        self, names: List[str]
+    ) -> Tuple[List[PrefixTable], Dict[str, int]]:
+        """Per-member ``(table, version)`` pairs, each from its own shard.
+
+        Every member's table comes through its shard engine's
+        ``table_versioned`` (one atomic store snapshot per member, warm
+        in that shard's cache), and the reduction happens on the caller's
+        thread — the same consistency unit as N independent reads, which
+        is exactly what the per-member versions dict reports.
+        """
+        if not names:
+            raise ValueError("group queries need at least one member")
+        tables: List[PrefixTable] = []
+        versions: Dict[str, int] = {}
+        for name in names:
+            shard = self._shard_for_registered(name)
+            version, table = shard.engine.table_versioned(name)
+            tables.append(table)
+            versions[name] = version
+        return tables, versions
+
+    def _observe_group(self, kind: str, names: List[str], start: float) -> None:
+        # The group evaluation ran on the caller's thread, not inside any
+        # one engine; attribute its latency to the first member's shard
+        # so the per-kind series exist exactly once per query.
+        self.shard_of(names[0]).engine.observe_query(
+            kind, time.perf_counter() - start
+        )
+
+    def group_range_sum(
+        self, names: Any, a, b
+    ) -> Tuple[Any, Dict[str, int]]:
+        """Pooled range sum over a cohort / member list; returns
+        ``(value, {member: version})``."""
+        members = self.resolve_members(names)
+        start = time.perf_counter()
+        tables, versions = self._group_tables(members)
+        value = group_tables_range_sum(tables, a, b)
+        self._observe_group("group_range_sum", members, start)
+        return value, versions
+
+    def group_range_mean(
+        self, names: Any, a, b
+    ) -> Tuple[Any, Dict[str, int]]:
+        """Pooled range mean over a cohort / member list."""
+        members = self.resolve_members(names)
+        start = time.perf_counter()
+        tables, versions = self._group_tables(members)
+        value = group_tables_range_mean(tables, a, b)
+        self._observe_group("group_range_mean", members, start)
+        return value, versions
+
+    def group_top_k(
+        self, names: Any, m: int
+    ) -> Tuple[List[Tuple[int, int, float]], Dict[str, int]]:
+        """Heaviest merged-partition pieces of the pooled member set."""
+        members = self.resolve_members(names)
+        start = time.perf_counter()
+        tables, versions = self._group_tables(members)
+        value = group_tables_top_k(tables, int(m))
+        self._observe_group("group_top_k", members, start)
+        return value, versions
+
+    # ------------------------------------------------------------------ #
     # Live migration and read replication (skew-aware placement)
     # ------------------------------------------------------------------ #
 
@@ -723,6 +958,10 @@ class ShardRouter:
                 # drain against the source copy (or re-route on miss).
                 self.shard_map.assign_to(name, shard)
                 source.store.remove(name)
+                # The entry object moved with its pin; recompute it from
+                # the surviving replica set (assign_to just dropped any
+                # replica record on the target shard).
+                entry.pinned = bool(self.shard_map.replicas_of(name))
             moved.append(name)
             self._c_migrated.inc()
         return moved
@@ -770,6 +1009,14 @@ class ShardRouter:
                 return False
             if name in target.store:
                 target.store.remove(name)
+        if not self.shard_map.replicas_of(name):
+            # Last replica gone: the primary's payload is sole-owned
+            # again, so it becomes eligible for residency cooling.
+            primary_store = self.shard_of(name).store
+            with primary_store._lock:
+                primary = primary_store._entries.get(name)
+                if primary is not None:
+                    primary.pinned = False
         self._c_replica_drops.inc()
         return True
 

@@ -35,14 +35,29 @@ from ..sampling.streaming import StreamingHistogramLearner
 from ..sampling.windowed import WindowedStreamLearner
 from .builders import BuildResult, build_synopsis
 from .planner import (
+    BYTES_PER_NUMBER,
     BudgetInfeasibleError,
     BuildBudget,
     BuildPlan,
     plan_build,
+    plan_cohort,
     replan,
 )
 
-__all__ = ["StoreEntry", "StreamLearner", "SynopsisStore"]
+__all__ = [
+    "StoreEntry",
+    "StreamLearner",
+    "SynopsisStore",
+    "duplicate_entry_message",
+]
+
+
+def duplicate_entry_message(name: str) -> str:
+    """The one duplicate-registration error message, store and router alike."""
+    return (
+        f"an entry named {name!r} is already registered; remove() it first "
+        f"or use register() to replace it"
+    )
 
 #: Either streaming backend: the growing-stream learner or the
 #: sliding-window learner.  Both expose the same refresh surface
@@ -77,6 +92,19 @@ class StoreEntry:
     hydrator: Optional[Callable[["StoreEntry"], None]] = field(
         default=None, repr=False, compare=False
     )
+    # The last hydrator that ran successfully, stashed so cool() can
+    # demote the entry back to its lazy payload (tiered residency).  The
+    # persistence hydrators are re-invokable — they re-read the payload
+    # from the mmap segment / npz file every call — which is what makes
+    # hydrate -> cool -> hydrate a cycle rather than a one-shot.
+    rehydrator: Optional[Callable[["StoreEntry"], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    # Pinned entries never cool.  The router pins replica entries and
+    # their primaries: both alias one BuildResult, so cooling either
+    # side would clear the payload out from under the other store's
+    # hydration state.
+    pinned: bool = field(default=False, repr=False, compare=False)
     frozen_meta: Optional[Dict[str, Any]] = field(
         default=None, repr=False, compare=False
     )
@@ -87,6 +115,31 @@ class StoreEntry:
     @property
     def is_hydrated(self) -> bool:
         return self.hydrator is None
+
+    @property
+    def resident_bytes(self) -> int:
+        """Approximate payload bytes this entry keeps in memory right now."""
+        if self.hydrator is not None or self.result.synopsis is None:
+            return 0
+        return self.result.stored_numbers * BYTES_PER_NUMBER
+
+    @property
+    def evictable(self) -> bool:
+        """Whether :meth:`cool` can demote this entry to its lazy payload.
+
+        Streaming entries never cool (re-running the persisted hydrator
+        would resurrect a stale learner over the live one), an entry
+        built in memory has no payload on disk to fall back to, and
+        pinned entries (replicas and replicated primaries) share their
+        payload with another store.
+        """
+        return (
+            not self.pinned
+            and self.learner is None
+            and self.rehydrator is not None
+            and self.hydrator is None
+            and self.result.synopsis is not None
+        )
 
     def hydrate(self) -> None:
         """Materialize a lazily-loaded payload (idempotent, thread-safe).
@@ -100,8 +153,29 @@ class StoreEntry:
             return
         with self._hydrate_lock:
             if self.hydrator is not None:
-                self.hydrator(self)
+                hydrator = self.hydrator
+                hydrator(self)
+                self.rehydrator = hydrator
                 self.hydrator = None
+
+    def cool(self) -> int:
+        """Demote a hydrated, evictable entry back to its lazy payload.
+
+        Returns the payload bytes freed (0 when the entry is not
+        evictable).  The synopsis slot is cleared *in place* on the
+        shared :class:`BuildResult` — replica entries alias the same
+        result object, so swapping in a copy here would break the
+        aliasing that lets a primary hydration serve its replicas.
+        Callers must serialize against readers (the store does, under
+        its lock) so no snapshot can observe the half-cooled state.
+        """
+        with self._hydrate_lock:
+            if not self.evictable:
+                return 0
+            freed = self.resident_bytes
+            self.result.synopsis = None
+            self.hydrator = self.rehydrator
+            return freed
 
     @property
     def synopsis(self):
@@ -132,11 +206,15 @@ class StoreEntry:
             # dict, and the frozen snapshot must stay pristine.
             meta = dict(self.frozen_meta)
             meta["options"] = dict(meta.get("options", {}))
+            meta["hydrated"] = False
+            meta["resident_bytes"] = 0
             return meta
         meta = self.result.describe()
         meta["name"] = self.name
         meta["version"] = self.version
         meta["streaming"] = self.is_streaming
+        meta["hydrated"] = True
+        meta["resident_bytes"] = self.resident_bytes
         if self.learner is not None:
             meta["samples_seen"] = self.learner.samples_seen
             if isinstance(self.learner, WindowedStreamLearner):
@@ -160,9 +238,22 @@ class SynopsisStore:
         # (name, version) pairs must never repeat, or engine caches would
         # serve a stale table after remove-then-re-register.
         self._last_versions: Dict[str, int] = {}
+        # Named cohorts: ordered member lists for group-by queries,
+        # persisted with the store (manifest "cohorts" key).
+        self._cohorts: Dict[str, Tuple[str, ...]] = {}
         # Guards _entries/_last_versions and every (result, version) swap;
         # RLock so refresh() can run under a caller already holding it.
         self._lock = threading.RLock()
+        # Approximate hydrated payload bytes across all entries, kept
+        # incrementally under its own leaf lock (never taken while
+        # acquiring another lock) so the residency budget check is a
+        # plain read, not a scan.
+        self._resident_bytes = 0
+        self._resident_lock = threading.Lock()
+        # The ResidencyManager watching this store, if any (set by
+        # ResidencyManager.watch); consulted after snapshots to enforce
+        # the global max_resident_bytes budget.
+        self._residency: Optional[Any] = None
         # Engines (and anything else caching per-entry state) register
         # here so remove() can tell them to drop that state.  Weak refs:
         # the store must not keep dead engines alive.
@@ -208,6 +299,17 @@ class SynopsisStore:
             "entry version bumps (installs and refreshes)",
             **self._labels,
         )
+        self._g_resident = registry.gauge(
+            "store_resident_bytes",
+            "approximate hydrated payload bytes resident in memory",
+            **self._labels,
+        )
+        self._g_resident.set(self._resident_bytes)
+        self._c_evictions = registry.counter(
+            "store_evictions_total",
+            "entries cooled back to their lazy payload",
+            **self._labels,
+        )
 
     def _add_removal_listener(self, listener: Any) -> None:
         """Register an object whose ``forget(name)`` runs after ``remove``."""
@@ -249,12 +351,68 @@ class SynopsisStore:
         the entry and persisted with the store, so a reloaded store can
         explain and re-derive the choice without rebuilding candidates.
         Raises :exc:`~repro.serve.planner.BudgetInfeasibleError` when no
-        family satisfies the budget.
+        family satisfies the budget, and :exc:`ValueError` when ``name``
+        is already registered — auto-registration never silently replaces
+        an entry (use :meth:`register` to replace, or :meth:`remove`
+        first).
         """
         with timer(self._h_register):
+            with self._lock:
+                if name in self._entries:
+                    raise ValueError(duplicate_entry_message(name))
             plan = plan_build(
                 data, budget, families=families, k_grid=k_grid, **plan_options
             )
+            return self._install_planned(name, plan)
+
+    def register_many(
+        self,
+        named_datasets: Any,
+        budget: BuildBudget,
+        cohort: Optional[str] = None,
+        families: Optional[Any] = None,
+        k_grid: Optional[Any] = None,
+        **plan_options: Any,
+    ) -> List[StoreEntry]:
+        """Bulk-register a cohort of series with one amortized plan.
+
+        ``named_datasets`` is a mapping ``{name: data}`` or an iterable of
+        ``(name, data)`` pairs.  Planning is amortized via
+        :func:`~repro.serve.planner.plan_cohort`: the first series gets a
+        full grid probe, members whose measured build stays in budget
+        reuse the chosen ``(family, k)``, and only violators escalate to
+        their own probe.  All planning happens *before* any entry is
+        installed, so a mid-cohort :exc:`BudgetInfeasibleError` (or a
+        duplicate name) leaves the store untouched.
+
+        With ``cohort=...`` the member names are also registered as a
+        named cohort for group-by queries (persisted with the store).
+        Returns the installed entries in input order.
+        """
+        with timer(self._h_register):
+            if hasattr(named_datasets, "items"):
+                items = [(str(n), d) for n, d in named_datasets.items()]
+            else:
+                items = [(str(n), d) for n, d in named_datasets]
+            with self._lock:
+                for name, _ in items:
+                    if name in self._entries:
+                        raise ValueError(duplicate_entry_message(name))
+            planned = plan_cohort(
+                items, budget, families=families, k_grid=k_grid, **plan_options
+            )
+            entries = [
+                self._install_planned(name, plan) for name, plan in planned
+            ]
+            if cohort is not None:
+                self.define_cohort(cohort, [name for name, _ in planned])
+            return entries
+
+    def _install_planned(self, name: str, plan: BuildPlan) -> StoreEntry:
+        """Install a planned build, refusing to replace an existing entry."""
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(duplicate_entry_message(name))
             return self._install(name, plan.result, learner=None, plan=plan)
 
     def register_stream_auto(
@@ -332,9 +490,37 @@ class SynopsisStore:
                 learner=learner,
                 plan=plan,
             )
+            previous = self._entries.get(name)
             self._entries[name] = entry
             self._c_version_bumps.inc()
+            self._resident_add(
+                entry.resident_bytes
+                - (previous.resident_bytes if previous is not None else 0)
+            )
             return entry
+
+    def _resident_add(self, delta: int) -> None:
+        """Adjust the resident-bytes accounting (and gauge) by ``delta``."""
+        if not delta:
+            return
+        with self._resident_lock:
+            self._resident_bytes = max(0, self._resident_bytes + delta)
+            self._g_resident.set(self._resident_bytes)
+
+    def _note_hydrated(self, entry: StoreEntry) -> None:
+        """Post-hydration bookkeeping (called by the _adopt timing wrapper).
+
+        Runs *inside* hydrate()'s critical section, before the hydrator
+        slot is cleared, so it reads the payload directly rather than the
+        ``resident_bytes`` property (which reports 0 while the slot is
+        still set).
+        """
+        if entry.result.synopsis is None:
+            return
+        self._resident_add(entry.result.stored_numbers * BYTES_PER_NUMBER)
+        residency = self._residency
+        if residency is not None and entry.learner is None and not entry.pinned:
+            residency.note(self, entry.name)
 
     # ------------------------------------------------------------------ #
     # Streaming refresh
@@ -391,11 +577,13 @@ class SynopsisStore:
             if plan is not None:
                 plan.result = None  # entry.result owns the synopsis (_install)
             with self._lock:
+                before = entry.resident_bytes
                 entry.result = result
                 entry.plan = plan
                 entry.version = self._last_versions[name] = entry.version + 1
                 entry.built_at_samples = entry.learner.samples_seen
                 self._c_version_bumps.inc()
+                self._resident_add(entry.resident_bytes - before)
             return entry
 
     def extend(self, name: str, samples: np.ndarray) -> StoreEntry:
@@ -461,8 +649,22 @@ class SynopsisStore:
 
     def remove(self, name: str) -> None:
         with self._lock:
-            del self._entries[name]
+            entry = self._entries.pop(name)
+            self._resident_add(-entry.resident_bytes)
+            # Keep the members-always-exist invariant: prune the removed
+            # name from any cohort, dropping cohorts that become empty.
+            for cohort in list(self._cohorts):
+                members = self._cohorts[cohort]
+                if name in members:
+                    kept = tuple(m for m in members if m != name)
+                    if kept:
+                        self._cohorts[cohort] = kept
+                    else:
+                        del self._cohorts[cohort]
             listeners = list(self._removal_listeners)
+        residency = self._residency
+        if residency is not None:
+            residency.discard(self, name)
         # Notify outside the store lock: a listener's forget() takes its
         # own lock, and holding both here invites lock-order inversion
         # against query paths that hold the engine lock while snapshotting.
@@ -484,13 +686,111 @@ class SynopsisStore:
             # replaced by a re-register between lookup and lock.
             entry = self[name]
             entry.hydrate()  # idempotent; a replaced entry is already live
-            return entry.version, entry.result.synopsis
+            out = entry.version, entry.result.synopsis
+        # Enforce the residency budget with no store lock held: eviction
+        # re-acquires it, and the snapshot above already owns its synopsis
+        # reference, so cooling the entry we just read is harmless.
+        residency = self._residency
+        if residency is not None:
+            residency.enforce()
+        return out
 
     def summary(self) -> List[Dict[str, Any]]:
-        """Metadata for every entry (name, family, size, error, version...)."""
+        """Metadata for every entry (name, family, size, error, version...).
+
+        Each row carries ``hydrated`` and ``resident_bytes`` so callers
+        can see the residency tier per entry; :meth:`residency` gives the
+        aggregated hydrated/cold counts.
+        """
         with self._lock:
             entries = list(self._entries.values())
         return [entry.describe() for entry in entries]
+
+    def residency(self) -> Dict[str, int]:
+        """Hydrated vs cold entry counts plus approximate resident bytes."""
+        with self._lock:
+            entries = list(self._entries.values())
+        hydrated = sum(1 for entry in entries if entry.is_hydrated)
+        return {
+            "entries": len(entries),
+            "hydrated": hydrated,
+            "cold": len(entries) - hydrated,
+            "resident_bytes": int(self._resident_bytes),
+        }
+
+    def cool(self, name: str) -> int:
+        """Demote one entry to its lazy payload; returns the bytes freed.
+
+        Runs under the store lock so no concurrent :meth:`snapshot` can
+        observe the half-cooled state; a non-evictable or already-cold
+        entry returns 0.  Unknown names also return 0 (the residency
+        manager races benignly against :meth:`remove`).
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return 0
+            freed = entry.cool()
+            if freed:
+                self._resident_add(-freed)
+                self._c_evictions.inc()
+            return freed
+
+    # ------------------------------------------------------------------ #
+    # Cohorts
+    # ------------------------------------------------------------------ #
+
+    def define_cohort(self, cohort: str, members: Any) -> None:
+        """Name an ordered member list for group-by queries.
+
+        Every member must be a registered entry; redefinition replaces
+        the previous member list.  Cohorts persist with the store.
+        """
+        names = [str(m) for m in members]
+        if not names:
+            raise ValueError("a cohort needs at least one member")
+        cohort = str(cohort)
+        with self._lock:
+            missing = [m for m in names if m not in self._entries]
+            if missing:
+                raise KeyError(
+                    f"cohort {cohort!r} references unknown entries: "
+                    f"{', '.join(missing)}"
+                )
+            self._cohorts[cohort] = tuple(names)
+
+    def cohorts(self) -> Dict[str, Tuple[str, ...]]:
+        """All defined cohorts as ``{name: (member, ...)}``."""
+        with self._lock:
+            return dict(self._cohorts)
+
+    def cohort_members(self, cohort: str) -> Tuple[str, ...]:
+        """The ordered member names of a defined cohort."""
+        with self._lock:
+            try:
+                return self._cohorts[cohort]
+            except KeyError:
+                raise KeyError(
+                    f"no cohort named {cohort!r}; defined: "
+                    f"{', '.join(self._cohorts) or '(none)'}"
+                ) from None
+
+    def resolve_members(self, spec: Any) -> List[str]:
+        """Member names for a group query target.
+
+        A string resolves as a cohort name first, then as a
+        comma-separated name list, then as one bare entry name; any
+        non-string iterable is taken as the member list itself.
+        """
+        if isinstance(spec, str):
+            with self._lock:
+                members = self._cohorts.get(spec)
+            if members is not None:
+                return list(members)
+            if "," in spec:
+                return [part.strip() for part in spec.split(",") if part.strip()]
+            return [spec]
+        return [str(name) for name in spec]
 
     # ------------------------------------------------------------------ #
     # Persistence (implementation in repro.serve.persistence)
@@ -527,7 +827,11 @@ class SynopsisStore:
             # Time first-query hydration.  The wrapper reads the store's
             # current histogram at call time (not capture time), so a
             # later bind_registry() — the router re-homing this store
-            # under a shard label — is still observed.
+            # under a shard label — is still observed.  It also does the
+            # post-hydration residency bookkeeping (resident-bytes
+            # accounting, ResidencyManager LRU touch), and because the
+            # wrapper is what hydrate() stashes as the rehydrator, a
+            # cooled entry re-accounts on every rehydration too.
             inner = entry.hydrator
 
             def timed_hydrator(
@@ -535,9 +839,15 @@ class SynopsisStore:
             ) -> None:
                 with timer(_store._h_hydrate):
                     _inner(target)
+                _store._note_hydrated(target)
 
             entry.hydrator = timed_hydrator
         with self._lock:
+            previous = self._entries.get(entry.name)
             self._entries[entry.name] = entry
             floor = entry.version if last_version is None else int(last_version)
             self._last_versions[entry.name] = max(entry.version, floor)
+            self._resident_add(
+                entry.resident_bytes
+                - (previous.resident_bytes if previous is not None else 0)
+            )

@@ -52,15 +52,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry, get_default_registry
-from .frontend import _COALESCIBLE, QueryRequest, QueryResult
+from .frontend import _COALESCIBLE, _GROUP_KINDS, QueryRequest, QueryResult
 from .persistence import (
     StoreCorruptionError,
+    _parse_cohorts,
     _parse_record,
     detect_store_format,
     iter_manifest_entries,
+    read_manifest,
     read_sharded_manifest,
 )
-from .planner import BuildPlan
+from .planner import BuildBudget, BuildPlan
+from .store import duplicate_entry_message
 
 __all__ = [
     "ProcessShardRouter",
@@ -285,6 +288,32 @@ def _worker_main(
                 merged.merge_from(frontend.registry)
                 merged.merge_from(get_default_registry())
                 reply = {"ok": True, "state": merged.to_state()}
+            elif cmd == "register_many":
+                from .planner import BuildBudget as _BuildBudget
+
+                budget = _BuildBudget.from_dict(message["budget"])
+                items = [
+                    (str(row["name"]), row["data"])
+                    for row in message["datasets"]
+                ]
+                entries = router.register_many(
+                    items,
+                    budget,
+                    cohort=message.get("cohort"),
+                    families=message.get("families"),
+                    k_grid=message.get("k_grid"),
+                )
+                reply = {
+                    "ok": True,
+                    "registered": [
+                        {
+                            "name": entry.name,
+                            "version": entry.version,
+                            "meta": entry.describe(),
+                        }
+                        for entry in entries
+                    ],
+                }
             elif cmd == "warm":
                 reply = {"ok": True, "resident": router.warm()}
             elif cmd == "reload":
@@ -405,8 +434,10 @@ class ProcessShardRouter:
 
     def _load_parent_records(self) -> None:
         kind = detect_store_format(self.store_dir)
+        raw_cohorts: Dict[str, List[str]] = {}
         if kind == "sharded":
             manifest = read_sharded_manifest(self.store_dir)
+            raw_cohorts = _parse_cohorts(manifest, self.store_dir)
             self._shard_dirs = [
                 self.store_dir / d for d in manifest["shard_dirs"]
             ]
@@ -423,6 +454,9 @@ class ProcessShardRouter:
             self.num_shards = int(manifest["num_shards"])
             name_order = list(self._shard_of_name)
         else:
+            raw_cohorts = _parse_cohorts(
+                read_manifest(self.store_dir), self.store_dir
+            )
             self._shard_dirs = [self.store_dir]
             self._shard_of_name = {}
             self._replicas_of_name = {}
@@ -447,6 +481,12 @@ class ProcessShardRouter:
         for name in self._records:
             if name not in self._names:
                 self._names.append(name)
+        # Cohorts whose members all loaded mirror the workers' routers.
+        self._cohorts: Dict[str, Tuple[str, ...]] = {
+            cohort: tuple(members)
+            for cohort, members in raw_cohorts.items()
+            if all(member in self._records for member in members)
+        }
 
     def names(self) -> List[str]:
         return list(self._names)
@@ -473,6 +513,22 @@ class ProcessShardRouter:
         if name not in self._records:
             raise KeyError(f"no synopsis registered under {name!r}")
         return self._records[name][2]
+
+    def cohorts(self) -> Dict[str, Tuple[str, ...]]:
+        """Cohorts known to the parent (manifest + live registrations)."""
+        return dict(self._cohorts)
+
+    def resolve_members(self, spec: Any) -> List[str]:
+        """Member names for a group query (mirrors the in-process
+        router's: cohort name, comma list, or bare entry name)."""
+        if isinstance(spec, str):
+            members = self._cohorts.get(spec)
+            if members is not None:
+                return list(members)
+            if "," in spec:
+                return [part.strip() for part in spec.split(",") if part.strip()]
+            return [spec]
+        return [str(name) for name in spec]
 
     def describe_shards(self) -> List[Dict[str, Any]]:
         """Per-shard placement: global shard index, owning worker, names."""
@@ -504,7 +560,13 @@ class ProcessShardRouter:
     def _route_shard(self, request: QueryRequest) -> int:
         """Replica-aware routing: coalescible reads of a replicated
         entry fan round-robin across primary + replica shards (hence
-        across worker processes); everything else goes to the primary."""
+        across worker processes); everything else goes to the primary.
+        Group-by kinds go to the first member's shard — every worker
+        opens all shard directories, so that worker's local router can
+        resolve the whole member set."""
+        if request.kind in _GROUP_KINDS:
+            members = self.resolve_members(request.name)
+            return self._shard_index(members[0]) if members else 0
         replicas = self._replicas_of_name.get(request.name)
         if replicas and request.kind in _COALESCIBLE:
             placements = [self._shard_index(request.name), *replicas]
@@ -765,12 +827,19 @@ class ProcessShardRouter:
                 # row["index"] is the position within the worker's
                 # sub-batch; map it back to the caller's request order.
                 global_index = items[int(row["index"])][0]
+                version = row["version"]
+                # Group-by answers carry a {member: version} dict; scalar
+                # kinds carry one int.
+                if isinstance(version, dict):
+                    version = {str(k): int(v) for k, v in version.items()}
+                else:
+                    version = int(version)
                 results[global_index] = QueryResult(
                     index=global_index,
                     name=row["name"],
                     kind=row["kind"],
                     value=row["value"],
-                    version=int(row["version"]),
+                    version=version,
                     error=row["error"],
                 )
         return [r for r in results if r is not None]
@@ -807,6 +876,95 @@ class ProcessShardRouter:
 
     def inner_product(self, name_a: str, name_b: str) -> float:
         return self._query_one("inner_product", name_a, str(name_b))
+
+    def _group_query(self, kind: str, names: Any, *args: Any):
+        """One group-by round trip; returns ``(value, {member: version})``."""
+        spec = (
+            names
+            if isinstance(names, str)
+            else ",".join(str(name) for name in names)
+        )
+        (result,) = self.serve([QueryRequest(kind, spec, args)])
+        if result.error is not None:
+            raise ValueError(result.error)
+        return result.value, result.version
+
+    def group_range_sum(self, names: Any, a, b):
+        return self._group_query("group_range_sum", names, a, b)
+
+    def group_range_mean(self, names: Any, a, b):
+        return self._group_query("group_range_mean", names, a, b)
+
+    def group_top_k(self, names: Any, m: int):
+        return self._group_query("group_top_k", names, int(m))
+
+    # ------------------------------------------------------------------ #
+    # Bulk registration (broadcast)
+    # ------------------------------------------------------------------ #
+
+    def register_many(
+        self,
+        named_datasets: Any,
+        budget: BuildBudget,
+        cohort: Optional[str] = None,
+        families: Optional[Sequence[str]] = None,
+        k_grid: Optional[Sequence[int]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Bulk-register a cohort into every worker's in-memory router.
+
+        The batch is broadcast: each worker's local router spans *all*
+        shards (that is what makes name routing and whole-group dispatch
+        correct), so each worker plans and installs the full cohort in
+        its own memory.  That duplicates build work and resident plan
+        metadata per worker — the bulk path is meant for fleet bring-up
+        followed by a ``save`` + ``reload`` once the cohort should become
+        part of the persisted store.  The parent mirrors the new entries
+        into its records; returns ``[{"name", "version", ...}, ...]``.
+        """
+        if hasattr(named_datasets, "items"):
+            items = [(str(n), d) for n, d in named_datasets.items()]
+        else:
+            items = [(str(n), d) for n, d in named_datasets]
+        for name, _ in items:
+            if name in self._records:
+                raise ValueError(duplicate_entry_message(name))
+        message = encode_message(
+            {
+                "cmd": "register_many",
+                "datasets": [
+                    {
+                        "name": name,
+                        "data": np.asarray(data, dtype=np.float64),
+                    }
+                    for name, data in items
+                ],
+                "budget": budget.to_dict(),
+                "cohort": cohort,
+                "families": None if families is None else list(families),
+                "k_grid": None if k_grid is None else [int(k) for k in k_grid],
+            }
+        )
+        for worker in self._workers:
+            self._send(worker, message)
+        rows: List[Dict[str, Any]] = []
+        for worker in self._workers:
+            rows = self._recv(worker, message)["registered"]
+        from .router import stable_shard
+
+        for row in rows:
+            name = str(row["name"])
+            self._records[name] = (int(row["version"]), dict(row["meta"]), None)
+            self._shard_of_name.setdefault(
+                name,
+                0
+                if self.num_shards == 1
+                else stable_shard(name, self.num_shards),
+            )
+            if name not in self._names:
+                self._names.append(name)
+        if cohort is not None:
+            self._cohorts[str(cohort)] = tuple(name for name, _ in items)
+        return rows
 
     # ------------------------------------------------------------------ #
     # Metrics

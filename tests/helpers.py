@@ -27,9 +27,24 @@ __all__ = [
     "piecewise_polynomials",
     "positive_dense_arrays",
     "sparse_functions",
+    "summary_metadata",
     "synopsis_objects",
     "wavelet_synopses",
 ]
+
+
+def summary_metadata(store):
+    """``store.summary()`` rows minus live residency state.
+
+    ``hydrated``/``resident_bytes`` describe the current memory tier of
+    each entry (in-memory builds are resident, a lazy load starts cold),
+    so round-trip tests compare the persisted metadata only.
+    """
+    rows = [dict(row) for row in store.summary()]
+    for row in rows:
+        row.pop("hydrated", None)
+        row.pop("resident_bytes", None)
+    return rows
 
 
 def dense_arrays(min_size: int = 1, max_size: int = 40):

@@ -40,7 +40,7 @@ from repro.serve.builders import COST_CLASSES
 from repro.serve.frontend import AsyncServingFrontend, QueryRequest
 from repro.serve.planner import BYTES_PER_NUMBER, default_k_grid
 
-from helpers import positive_dense_arrays
+from helpers import positive_dense_arrays, summary_metadata
 
 # A small family set keeps property tests fast while spanning all tiers.
 FAMILIES = ("merging", "wavelet", "exact_dp")
@@ -616,7 +616,7 @@ class TestPlanPersistence:
         manifest["schema"] = 1
         manifest_path.write_text(json.dumps(manifest))
         loaded = load_store(tmp_path / "store")
-        assert loaded.summary() == store.summary()
+        assert summary_metadata(loaded) == summary_metadata(store)
         assert loaded["a"].plan is None
 
 

@@ -13,6 +13,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from helpers import summary_metadata
 from repro import ShardRouter, StoreCorruptionError, SynopsisStore
 from repro.__main__ import main
 from repro.serve.frontend import AsyncServingFrontend, QueryRequest
@@ -148,7 +149,7 @@ class TestProcessShardRouter:
         prouter, router, requests, inproc = served
         assert prouter.num_workers == 2
         assert prouter.names() == router.names()
-        assert prouter.summary() == router.summary()
+        assert summary_metadata(prouter) == summary_metadata(router)
         assert prouter.describe("a")["shard"] == 0 or (
             prouter.describe("a")["shard"] == 1
         )
